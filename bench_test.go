@@ -1,0 +1,370 @@
+// Benchmark harness: one benchmark (family) per table and figure of the
+// paper's evaluation (§V), plus the scaling ablations backing the §III
+// complexity claims. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// Event counts are scaled (see benchScale) so the suite completes in
+// minutes; the *shapes* — reading ≫ microscopic ≫ aggregation, cubic |T|
+// scaling, linear |S| scaling, core ≥ product — are what reproduce the
+// paper, not the absolute numbers measured on the authors' testbed.
+package ocelotl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/product"
+	"ocelotl/internal/render"
+	"ocelotl/internal/spatial"
+	"ocelotl/internal/temporal"
+	"ocelotl/internal/trace"
+	"ocelotl/internal/traceio"
+)
+
+// benchScale keeps per-case event budgets tractable: ~1/50th of the
+// paper's counts (case C ≈ 4.4M events instead of 218M).
+const benchScale = 0.02
+
+type caseData struct {
+	res   *mpisim.Result
+	model *microscopic.Model
+	agg   *core.Aggregator
+	path  string // binary trace on disk
+}
+
+var (
+	caseMu    sync.Mutex
+	caseCache = map[grid5000.Case]*caseData{}
+	benchDir  string
+)
+
+// loadCase generates (once) a scaled Table II case, its on-disk binary
+// trace, its microscopic model and its prepared aggregator.
+func loadCase(b *testing.B, c grid5000.Case) *caseData {
+	b.Helper()
+	caseMu.Lock()
+	defer caseMu.Unlock()
+	if d, ok := caseCache[c]; ok {
+		return d
+	}
+	if benchDir == "" {
+		dir, err := os.MkdirTemp("", "ocelotl-bench-")
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchDir = dir
+	}
+	res, err := mpisim.GenerateCase(c, mpisim.Config{Seed: 42, Scale: benchScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(benchDir, fmt.Sprintf("case%s.bin", c))
+	if err := traceio.WriteFile(path, res.Trace); err != nil {
+		b.Fatal(err)
+	}
+	model, err := microscopic.Build(res.Trace, microscopic.Options{Slices: 30})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := &caseData{res: res, model: model, agg: core.New(model, core.Options{}), path: path}
+	caseCache[c] = d
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Table II: the three pipeline stages per case.
+
+func benchTable2Read(b *testing.B, c grid5000.Case) {
+	d := loadCase(b, c)
+	st, _ := os.Stat(d.path)
+	b.SetBytes(st.Size())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := traceio.OpenFile(d.path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var ev trace.Event
+		for {
+			if err := r.Next(&ev); err != nil {
+				break
+			}
+		}
+		r.Close()
+	}
+}
+
+func BenchmarkTable2_Read_A(b *testing.B) { benchTable2Read(b, grid5000.CaseA) }
+func BenchmarkTable2_Read_B(b *testing.B) { benchTable2Read(b, grid5000.CaseB) }
+func BenchmarkTable2_Read_C(b *testing.B) { benchTable2Read(b, grid5000.CaseC) }
+func BenchmarkTable2_Read_D(b *testing.B) { benchTable2Read(b, grid5000.CaseD) }
+
+func benchTable2Microscopic(b *testing.B, c grid5000.Case) {
+	d := loadCase(b, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := microscopic.Build(d.res.Trace, microscopic.Options{Slices: 30}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_Microscopic_A(b *testing.B) { benchTable2Microscopic(b, grid5000.CaseA) }
+func BenchmarkTable2_Microscopic_B(b *testing.B) { benchTable2Microscopic(b, grid5000.CaseB) }
+func BenchmarkTable2_Microscopic_C(b *testing.B) { benchTable2Microscopic(b, grid5000.CaseC) }
+func BenchmarkTable2_Microscopic_D(b *testing.B) { benchTable2Microscopic(b, grid5000.CaseD) }
+
+// The aggregation column measures both phases: building the tree of
+// triangular matrices (Aggregation_Input) and one Algorithm 1 pass
+// (Aggregation_Run — the per-slider-stop cost, "instantaneous" in §V).
+func benchTable2AggInput(b *testing.B, c grid5000.Case) {
+	d := loadCase(b, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.New(d.model, core.Options{})
+	}
+}
+
+func BenchmarkTable2_AggregationInput_A(b *testing.B) { benchTable2AggInput(b, grid5000.CaseA) }
+func BenchmarkTable2_AggregationInput_C(b *testing.B) { benchTable2AggInput(b, grid5000.CaseC) }
+func BenchmarkTable2_AggregationInput_D(b *testing.B) { benchTable2AggInput(b, grid5000.CaseD) }
+
+func benchTable2AggRun(b *testing.B, c grid5000.Case) {
+	d := loadCase(b, c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d.agg.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2_AggregationRun_A(b *testing.B) { benchTable2AggRun(b, grid5000.CaseA) }
+func BenchmarkTable2_AggregationRun_B(b *testing.B) { benchTable2AggRun(b, grid5000.CaseB) }
+func BenchmarkTable2_AggregationRun_C(b *testing.B) { benchTable2AggRun(b, grid5000.CaseC) }
+func BenchmarkTable2_AggregationRun_D(b *testing.B) { benchTable2AggRun(b, grid5000.CaseD) }
+
+// ---------------------------------------------------------------------------
+// Figure 1: the full case-A pipeline (aggregate + scene construction).
+
+func BenchmarkFig1_CaseA_Overview(b *testing.B) {
+	d := loadCase(b, grid5000.CaseA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := d.agg.Run(0.2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		render.BuildScene(d.agg, pt, render.Options{Width: 1000, Height: 512})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: the Gantt rendering of the same trace (stats only — the paper's
+// point is that drawing everything is the expensive, lossy path).
+
+func BenchmarkFig2_Gantt_CaseA(b *testing.B) {
+	d := loadCase(b, grid5000.CaseA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := render.Gantt(d.res.Trace, 1200, 512, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: the artificial-trace ladder (build + two aggregation levels +
+// visual aggregation).
+
+func BenchmarkFig3_Artificial(b *testing.B) {
+	tr := mpisim.Artificial()
+	m, err := microscopic.Build(tr, microscopic.Options{Slices: 20})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agg := core.New(m, core.Options{})
+		lo, err := agg.Run(0.25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := agg.Run(0.9); err != nil {
+			b.Fatal(err)
+		}
+		render.BuildScene(agg, lo, render.Options{Width: 480, Height: 36, MinHeight: 6})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: the case-C overview.
+
+func BenchmarkFig4_CaseC_Overview(b *testing.B) {
+	d := loadCase(b, grid5000.CaseC)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt, err := d.agg.Run(0.35)
+		if err != nil {
+			b.Fatal(err)
+		}
+		render.BuildScene(d.agg, pt, render.Options{Width: 1000, Height: 700, MinHeight: 2})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Scaling ablations: Algorithm 1 is O(|S|·|T|³) time with an O(|S|·|T|²)
+// input pass. BenchmarkScaling_T_* should grow ~8× per doubling (run) and
+// BenchmarkScaling_S_* ~2× per doubling.
+
+func scalingModel(b *testing.B, S, T int) *microscopic.Model {
+	b.Helper()
+	m, err := microscopic.Build(mpisim.ArtificialSized(S, T), microscopic.Options{Slices: T})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchScalingT(b *testing.B, T int) {
+	m := scalingModel(b, 48, T)
+	agg := core.New(m, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaling_T_16(b *testing.B)  { benchScalingT(b, 16) }
+func BenchmarkScaling_T_32(b *testing.B)  { benchScalingT(b, 32) }
+func BenchmarkScaling_T_64(b *testing.B)  { benchScalingT(b, 64) }
+func BenchmarkScaling_T_128(b *testing.B) { benchScalingT(b, 128) }
+
+func benchScalingS(b *testing.B, S int) {
+	m := scalingModel(b, S, 32)
+	agg := core.New(m, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScaling_S_24(b *testing.B)  { benchScalingS(b, 24) }
+func BenchmarkScaling_S_96(b *testing.B)  { benchScalingS(b, 96) }
+func BenchmarkScaling_S_384(b *testing.B) { benchScalingS(b, 384) }
+
+// ---------------------------------------------------------------------------
+// Baseline ablations (§III.D): the spatiotemporal algorithm versus the
+// Cartesian product and the two 1-D algorithms on the same model.
+
+func BenchmarkAblation_Spatiotemporal(b *testing.B) {
+	m := scalingModel(b, 96, 30)
+	agg := core.New(m, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_Product(b *testing.B) {
+	m := scalingModel(b, 96, 30)
+	pa := product.New(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pa.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_SpatialOnly(b *testing.B) {
+	m := scalingModel(b, 96, 30)
+	sa := spatial.New(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sa.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblation_TemporalOnly(b *testing.B) {
+	m := scalingModel(b, 96, 30)
+	ta := temporal.New(m)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ta.Run(0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblation_SignificantPs measures the dichotomic slider-stop
+// search (the interactive exploration cost).
+func BenchmarkAblation_SignificantPs(b *testing.B) {
+	m := scalingModel(b, 48, 30)
+	agg := core.New(m, core.Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := agg.SignificantPs(1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Trace I/O throughput (the substrate behind Table II's reading column).
+
+func benchIOWrite(b *testing.B, format traceio.Format) {
+	d := loadCase(b, grid5000.CaseA)
+	hdr := traceio.Header{Resources: d.res.Trace.Resources, States: d.res.Trace.States,
+		Start: d.res.Trace.Start, End: d.res.Trace.End}
+	b.SetBytes(int64(d.res.Trace.NumEvents()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := traceio.NewWriter(discard{}, format, hdr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range d.res.Trace.Events {
+			if err := w.WriteEvent(e); err != nil {
+				b.Fatal(err)
+			}
+		}
+		w.Close()
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func BenchmarkTraceIO_WriteBinary(b *testing.B) { benchIOWrite(b, traceio.FormatBinary) }
+func BenchmarkTraceIO_WriteCSV(b *testing.B)    { benchIOWrite(b, traceio.FormatCSV) }
+
+func BenchmarkTraceIO_GenerateCaseA(b *testing.B) {
+	sc, _ := grid5000.Scenarios(grid5000.CaseA)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		if _, err := mpisim.GenerateStream(sc, mpisim.Config{Seed: 42, Scale: benchScale},
+			func(trace.Event) error { n++; return nil }); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(n), "events")
+	}
+}

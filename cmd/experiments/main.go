@@ -1,0 +1,51 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (§V) against the simulated substrate:
+//
+//	experiments -exp table1              # criteria table (Table I row for our technique)
+//	experiments -exp table2 -scale 0.02  # scenario sizes and pipeline timings (Table II)
+//	experiments -exp fig1                # case A overview (Figure 1) → SVG/PNG + findings
+//	experiments -exp fig2                # case A Gantt clutter accounting (Figure 2)
+//	experiments -exp fig3                # artificial-trace aggregation ladder (Figure 3)
+//	experiments -exp fig4                # case C overview (Figure 4) → SVG/PNG + findings
+//	experiments -exp ablation            # scaling and baseline-comparison ablations
+//	experiments -exp all                 # everything above, in order
+//
+// Event counts are scaled by -scale (1.0 reproduces the paper's hundreds
+// of millions of events; the default 0.02 runs in seconds). Artifacts are
+// written under -outdir. The logic lives in internal/experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocelotl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, ablation, all")
+		outdir = flag.String("outdir", "out", "directory for rendered artifacts")
+		scale  = flag.Float64("scale", 0.02, "fraction of the paper's event counts to simulate")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		slices = flag.Int("slices", 30, "microscopic time slices |T| (paper: 30)")
+	)
+	flag.Parse()
+	cfg := experiments.Config{OutDir: *outdir, Scale: *scale, Seed: *seed, Slices: *slices}
+
+	names := experiments.Names()
+	if *exp != "all" {
+		names = []string{*exp}
+	}
+	for _, name := range names {
+		fmt.Printf("\n===== %s =====\n", name)
+		start := time.Now()
+		if err := experiments.Run(name, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("----- %s done in %v -----\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,88 @@
+// Command ganttview renders a microscopic Gantt chart of a trace and
+// reports the clutter statistics that motivate the paper (Fig. 2): how
+// many graphical objects fit the viewport, how many collapse below one
+// pixel, and how much information the pixel-guided rendering overdraws.
+//
+//	ganttview -trace run.bin -out gantt.png
+//	ganttview -case A -scale 0.1 -width 1777 -height 233
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/render"
+	"ocelotl/internal/trace"
+	"ocelotl/internal/traceio"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file (csv/bin, optionally .gz)")
+		caseName  = flag.String("case", "", "generate a Table II case instead")
+		scale     = flag.Float64("scale", 0.02, "event-count scale when generating")
+		seed      = flag.Int64("seed", 42, "simulation seed when generating")
+		width     = flag.Int("width", 1200, "viewport width in pixels")
+		height    = flag.Int("height", 512, "viewport height in pixels")
+		out       = flag.String("out", "", "PNG output file (omit for stats only)")
+		from      = flag.Float64("from", 0, "window start fraction [0,1)")
+		to        = flag.Float64("to", 1, "window end fraction (0,1]")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*tracePath, *caseName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *from != 0 || *to != 1 {
+		ws, we := tr.Window()
+		span := we - ws
+		tr = tr.Slice(ws+*from*span, ws+*to*span)
+	}
+	var w *os.File
+	if *out != "" {
+		w, err = os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer w.Close()
+	}
+	var stats render.GanttStats
+	if w != nil {
+		stats, err = render.Gantt(tr, *width, *height, nil, w)
+	} else {
+		stats, err = render.Gantt(tr, *width, *height, nil, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(stats)
+	if *out != "" {
+		fmt.Println("wrote", *out)
+	}
+}
+
+func loadTrace(path, caseName string, scale float64, seed int64) (*trace.Trace, error) {
+	switch {
+	case path != "" && caseName != "":
+		return nil, fmt.Errorf("use either -trace or -case, not both")
+	case path != "":
+		return traceio.ReadFile(path)
+	case caseName != "":
+		res, err := mpisim.GenerateCase(grid5000.Case(caseName), mpisim.Config{Seed: seed, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		return res.Trace, nil
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -case A|B|C|D")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ganttview:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/traceio"
+)
+
+func TestLoadTraceFromCase(t *testing.T) {
+	tr, err := loadTrace("", "A", 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumResources() != 64 {
+		t.Errorf("resources = %d", tr.NumResources())
+	}
+}
+
+func TestLoadTraceFromFile(t *testing.T) {
+	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: 1, EventTarget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.csv.gz")
+	if err := traceio.WriteFile(path, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := loadTrace(path, "", 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumEvents() != res.Trace.NumEvents() {
+		t.Errorf("events = %d, want %d", tr.NumEvents(), res.Trace.NumEvents())
+	}
+}
+
+func TestLoadTraceErrors(t *testing.T) {
+	if _, err := loadTrace("", "", 0, 0); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadTrace("x", "A", 0, 0); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadTrace("", "Z", 0.01, 0); err == nil {
+		t.Error("unknown case accepted")
+	}
+}

@@ -1,0 +1,168 @@
+// Command ocelotl is the end-to-end analysis pipeline of the paper: read
+// an execution trace, build its microscopic model, compute an optimal
+// structure-consistent aggregation, and render or report the result.
+//
+//	ocelotl -trace run.bin.gz -p 0.35 -format svg -out view.svg
+//	ocelotl -case A -p 0.2 -format report
+//	ocelotl -trace run.csv -list-p
+//	ocelotl -case C -mode product -format report
+//
+// Modes select the algorithm: "st" (the paper's spatiotemporal algorithm,
+// default), "spatial" and "temporal" (the 1-D baselines), "product" (their
+// Cartesian combination, Fig. 3.c).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"ocelotl/internal/analysis"
+	"ocelotl/internal/core"
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/partition"
+	"ocelotl/internal/product"
+	"ocelotl/internal/render"
+	"ocelotl/internal/spatial"
+	"ocelotl/internal/temporal"
+	"ocelotl/internal/traceio"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "trace file to analyze (csv/bin, optionally .gz)")
+		caseName  = flag.String("case", "", "generate a Table II case instead of reading a trace (A, B, C, D)")
+		scale     = flag.Float64("scale", 0.02, "event-count scale when generating a case")
+		seed      = flag.Int64("seed", 42, "simulation seed when generating a case")
+		slices    = flag.Int("slices", microscopic.DefaultSlices, "microscopic time slices |T|")
+		p         = flag.Float64("p", 0.35, "gain/loss trade-off ratio ∈ [0,1]")
+		mode      = flag.String("mode", "st", "aggregation mode: st, spatial, temporal, product")
+		format    = flag.String("format", "report", "output: report, svg, png, ascii")
+		out       = flag.String("out", "", "output file (default stdout)")
+		width     = flag.Int("width", 1000, "view width in pixels")
+		height    = flag.Int("height", 600, "view height in pixels")
+		minH      = flag.Float64("minheight", 2, "visual-aggregation threshold in pixels (0 disables)")
+		normalize = flag.Bool("normalize", false, "normalize gain/loss by their full-aggregation values")
+		paletteN  = flag.String("palette", "default", "state colors: default, or ycbcr (equal-luma, §VI)")
+		tooltips  = flag.Bool("tooltips", false, "embed per-state proportions as SVG tooltips")
+		listP     = flag.Bool("list-p", false, "list the significant p values and exit")
+		from      = flag.Float64("from", 0, "zoom: window start as a fraction of the trace [0,1)")
+		to        = flag.Float64("to", 1, "zoom: window end as a fraction of the trace (0,1]")
+	)
+	flag.Parse()
+
+	m, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to)
+	if err != nil {
+		fatal(err)
+	}
+	agg := core.New(m, core.Options{Normalize: *normalize})
+
+	if *listP {
+		points, err := agg.SignificantPs(1e-3)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%10s %8s %12s %12s\n", "p", "areas", "gain", "loss")
+		for _, q := range points {
+			fmt.Printf("%10.4f %8d %12.2f %12.2f\n", q.P, q.Areas, q.Gain, q.Loss)
+		}
+		return
+	}
+
+	pt, err := runMode(m, agg, *mode, *p)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	opt := render.Options{Width: *width, Height: *height, MinHeight: *minH, Tooltips: *tooltips}
+	switch *paletteN {
+	case "default":
+	case "ycbcr":
+		opt.Palette = render.YCbCrPalette(m.NumStates(), 170)
+	default:
+		fatal(fmt.Errorf("unknown palette %q (want default or ycbcr)", *paletteN))
+	}
+	switch *format {
+	case "report":
+		rep := analysis.Describe(agg, pt, 2)
+		fmt.Fprint(w, rep.Format(m.States))
+	case "svg":
+		err = render.BuildScene(agg, pt, opt).SVG(w)
+	case "png":
+		err = render.BuildScene(agg, pt, opt).PNG(w)
+	case "ascii":
+		fmt.Fprint(w, render.BuildScene(agg, pt, opt).ASCII(0, 0))
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func loadModel(tracePath, caseName string, scale float64, seed int64, slices int, from, to float64) (*microscopic.Model, error) {
+	if from < 0 || to > 1 || from >= to {
+		return nil, fmt.Errorf("bad zoom window [%g,%g): need 0 ≤ from < to ≤ 1", from, to)
+	}
+	switch {
+	case tracePath != "" && caseName != "":
+		return nil, fmt.Errorf("use either -trace or -case, not both")
+	case tracePath != "":
+		r, err := traceio.OpenFile(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		opt := microscopic.Options{Slices: slices}
+		if from != 0 || to != 1 {
+			ws, we := r.Window()
+			opt.Start, opt.End = ws+from*(we-ws), ws+to*(we-ws)
+		}
+		return microscopic.BuildStream(r, opt)
+	case caseName != "":
+		res, err := mpisim.GenerateCase(grid5000.Case(caseName), mpisim.Config{Seed: seed, Scale: scale})
+		if err != nil {
+			return nil, err
+		}
+		opt := microscopic.Options{Slices: slices}
+		if from != 0 || to != 1 {
+			ws, we := res.Trace.Window()
+			opt.Start, opt.End = ws+from*(we-ws), ws+to*(we-ws)
+		}
+		return microscopic.Build(res.Trace, opt)
+	default:
+		return nil, fmt.Errorf("need -trace FILE or -case A|B|C|D (see -help)")
+	}
+}
+
+func runMode(m *microscopic.Model, agg *core.Aggregator, mode string, p float64) (*partition.Partition, error) {
+	switch mode {
+	case "st":
+		return agg.Run(p)
+	case "spatial":
+		return spatial.New(m).Run(p)
+	case "temporal":
+		return temporal.New(m).Run(p)
+	case "product":
+		return product.New(m).Evaluate(agg, p)
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want st, spatial, temporal or product)", mode)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ocelotl:", err)
+	os.Exit(1)
+}

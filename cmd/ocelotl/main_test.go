@@ -1,0 +1,92 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/traceio"
+)
+
+func TestLoadModelFromCase(t *testing.T) {
+	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumResources() != 64 || m.NumSlices() != 10 {
+		t.Errorf("dims: %d resources, %d slices", m.NumResources(), m.NumSlices())
+	}
+}
+
+func TestLoadModelFromFile(t *testing.T) {
+	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: 1, EventTarget: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := traceio.WriteFile(path, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	m, err := loadModel(path, "", 0, 0, 15, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumResources() != 64 || m.NumSlices() != 15 {
+		t.Errorf("dims: %d resources, %d slices", m.NumResources(), m.NumSlices())
+	}
+}
+
+func TestLoadModelErrors(t *testing.T) {
+	if _, err := loadModel("", "", 0, 0, 10, 0, 1); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadModel("x.bin", "A", 0, 0, 10, 0, 1); err == nil {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadModel(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 10, 0, 1); err == nil {
+		t.Error("missing file accepted")
+	}
+	if _, err := loadModel("", "Q", 0.01, 0, 10, 0, 1); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestLoadModelZoom(t *testing.T) {
+	// Zooming into the case-A computation phase: the model window must
+	// cover exactly the requested fraction.
+	m, err := loadModel("", "A", 0.005, 1, 10, 0.25, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Slicer.Start < 2.3 || m.Slicer.Start > 2.45 || m.Slicer.End < 7.0 || m.Slicer.End > 7.2 {
+		t.Errorf("zoom window = [%g,%g), want ≈[2.375,7.125)", m.Slicer.Start, m.Slicer.End)
+	}
+	for _, bad := range [][2]float64{{-0.1, 1}, {0, 1.1}, {0.6, 0.4}, {0.5, 0.5}} {
+		if _, err := loadModel("", "A", 0.005, 1, 10, bad[0], bad[1]); err == nil {
+			t.Errorf("zoom window %v accepted", bad)
+		}
+	}
+}
+
+func TestRunModeAll(t *testing.T) {
+	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := core.New(m, core.Options{})
+	for _, mode := range []string{"st", "spatial", "temporal", "product"} {
+		pt, err := runMode(m, agg, mode, 0.4)
+		if err != nil {
+			t.Errorf("mode %s: %v", mode, err)
+			continue
+		}
+		if err := pt.Validate(m.H, m.NumSlices()); err != nil {
+			t.Errorf("mode %s: invalid partition: %v", mode, err)
+		}
+	}
+	if _, err := runMode(m, agg, "bogus", 0.4); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,113 @@
+// Command tracegen synthesizes NAS-PB execution traces for the paper's
+// Table II scenarios (or custom CG/LU runs) and streams them to disk.
+//
+//	tracegen -case A -scale 1 -out caseA.bin          # the paper's 3.8M events
+//	tracegen -case C -scale 0.01 -out caseC.csv.gz    # quick, human-readable
+//	tracegen -app cg -procs 128 -out custom.bin       # custom run
+//
+// Generation is deterministic for a given -seed. Ground-truth anomaly
+// windows are printed so downstream analyses can be scored.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/trace"
+	"ocelotl/internal/traceio"
+)
+
+func main() {
+	var (
+		caseName  = flag.String("case", "", "Table II case: A, B, C or D")
+		app       = flag.String("app", "", "custom run: application cg or lu")
+		procs     = flag.Int("procs", 64, "custom run: MPI processes")
+		scale     = flag.Float64("scale", 0.02, "fraction of the paper's event count")
+		target    = flag.Int("target", 0, "absolute event budget (overrides -scale)")
+		seed      = flag.Int64("seed", 42, "simulation seed")
+		out       = flag.String("out", "", "output file (.csv, .bin, optionally .gz); required")
+		noPerturb = flag.Bool("no-perturb", false, "disable anomaly injection")
+	)
+	flag.Parse()
+	if *out == "" {
+		fatal(fmt.Errorf("-out is required"))
+	}
+	sc, err := pickScenario(*caseName, *app, *procs)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := mpisim.Config{Seed: *seed, Scale: *scale, EventTarget: *target, DisablePerturbations: *noPerturb}
+
+	w, err := traceio.CreateFile(*out, traceio.Header{
+		Resources: sc.Platform.ResourcePaths(sc.Processes),
+		States:    mpisim.StateNames,
+		Start:     0, End: sc.PaperRuntime,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	start := time.Now()
+	n := 0
+	perts, err := mpisim.GenerateStream(sc, cfg, func(ev trace.Event) error {
+		n++
+		return w.WriteEvent(ev)
+	})
+	if err != nil {
+		w.Close()
+		fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		fatal(err)
+	}
+	st, err := os.Stat(*out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %d events, %.1f MB in %v (%s %s, %d processes on %s)\n",
+		*out, n, float64(st.Size())/(1<<20), time.Since(start).Round(time.Millisecond),
+		sc.Application, sc.Class, sc.Processes, sc.Platform.Site)
+	for _, p := range perts {
+		fmt.Printf("ground truth: %-18s %8.2fs – %8.2fs  %d ranks\n", p.Kind, p.Start, p.End, len(p.Ranks))
+	}
+}
+
+func pickScenario(caseName, app string, procs int) (grid5000.Scenario, error) {
+	if caseName != "" {
+		return grid5000.Scenarios(grid5000.Case(caseName))
+	}
+	switch app {
+	case "cg":
+		sc, _ := grid5000.Scenarios(grid5000.CaseA)
+		return customize(sc, procs)
+	case "lu":
+		sc, _ := grid5000.Scenarios(grid5000.CaseC)
+		return customize(sc, procs)
+	case "":
+		return grid5000.Scenario{}, fmt.Errorf("need -case or -app")
+	default:
+		return grid5000.Scenario{}, fmt.Errorf("unknown app %q (want cg or lu)", app)
+	}
+}
+
+// customize resizes a scenario's platform to host the requested process
+// count by growing the first cluster.
+func customize(sc grid5000.Scenario, procs int) (grid5000.Scenario, error) {
+	if procs <= 0 {
+		return sc, fmt.Errorf("need a positive -procs")
+	}
+	sc.Processes = procs
+	for cap := sc.Platform.TotalCores(); cap < procs; cap = sc.Platform.TotalCores() {
+		sc.Platform.Clusters[0].Machines *= 2
+	}
+	sc.PaperEvents = procs * 60000 // keep -scale meaningful
+	return sc, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestPickScenarioCase(t *testing.T) {
+	sc, err := pickScenario("A", "", 0)
+	if err != nil || sc.Application != "CG" || sc.Processes != 64 {
+		t.Errorf("case A: %+v (%v)", sc, err)
+	}
+	if _, err := pickScenario("Z", "", 0); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestPickScenarioCustomApp(t *testing.T) {
+	sc, err := pickScenario("", "cg", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Processes != 128 {
+		t.Errorf("procs = %d", sc.Processes)
+	}
+	if cap := sc.Platform.TotalCores(); cap < 128 {
+		t.Errorf("platform grown to %d cores, need 128", cap)
+	}
+	if _, err := pickScenario("", "ft", 16); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := pickScenario("", "", 16); err == nil {
+		t.Error("missing case and app accepted")
+	}
+}
+
+func TestCustomizeGrowsPlatform(t *testing.T) {
+	sc, err := pickScenario("", "lu", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Validate(); err != nil {
+		t.Errorf("customized scenario invalid: %v", err)
+	}
+	if sc.PaperEvents != 5000*60000 {
+		t.Errorf("PaperEvents = %d", sc.PaperEvents)
+	}
+}
+
+func TestCustomizeRejectsNonPositive(t *testing.T) {
+	if _, err := pickScenario("", "cg", 0); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := pickScenario("", "cg", -4); err == nil {
+		t.Error("negative procs accepted")
+	}
+}

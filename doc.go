@@ -1,0 +1,15 @@
+// Package ocelotl reproduces "A Spatiotemporal Data Aggregation Technique
+// for Performance Analysis of Large-scale Execution Traces" (Dosimont,
+// Lamarche-Perrin, Schnorr, Huard, Vincent — IEEE CLUSTER 2014): an exact
+// algorithm that partitions an execution trace's space×time plane into
+// homogeneous aggregates by maximizing a parametrized information
+// criterion, plus the full pipeline around it — trace model and codecs,
+// microscopic description, unidimensional baselines, NAS-PB/Grid'5000
+// workload simulation, and the §IV visualization.
+//
+// The root package holds the benchmark harness (bench_test.go) that
+// regenerates every table and figure of the paper's evaluation; the
+// library lives under internal/ and the executables under cmd/. See
+// README.md for the tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+package ocelotl

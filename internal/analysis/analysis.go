@@ -1,0 +1,229 @@
+// Package analysis post-processes an optimal spatiotemporal partition into
+// the findings the paper's case studies report (§V): the global temporal
+// phases of the application, and the resources whose temporal behaviour
+// deviates from their peers — the "detailed list of those who
+// significantly are [impacted]" that §V.A highlights as an advantage over
+// purely temporal techniques.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/partition"
+)
+
+// Phase is a maximal run of slices sharing the same dominant state over
+// the whole platform.
+type Phase struct {
+	// FirstSlice and LastSlice delimit the phase (inclusive).
+	FirstSlice, LastSlice int
+	// Start and End in trace time.
+	Start, End float64
+	// Mode is the dominant state index over the phase; Alpha its share.
+	Mode  int
+	Alpha float64
+}
+
+// Phases derives the application-level phases from the model: slices are
+// labelled by their platform-wide dominant state and consecutive slices
+// with the same label merge. This mirrors how an analyst reads the
+// overview's vertical bands (MPI_Init band, transition, computation…).
+func Phases(m *microscopic.Model) []Phase {
+	var out []Phase
+	for t := 0; t < m.NumSlices(); t++ {
+		prof := m.SliceProfile(t)
+		mode, alpha := modeOf(prof)
+		lo, hi := m.Slicer.Bounds(t)
+		if n := len(out); n > 0 && out[n-1].Mode == mode {
+			out[n-1].LastSlice = t
+			out[n-1].End = hi
+			// Keep the weakest alpha as the phase's confidence.
+			if alpha < out[n-1].Alpha {
+				out[n-1].Alpha = alpha
+			}
+			continue
+		}
+		out = append(out, Phase{FirstSlice: t, LastSlice: t, Start: lo, End: hi, Mode: mode, Alpha: alpha})
+	}
+	return out
+}
+
+func modeOf(values []float64) (int, float64) {
+	idx, max, sum := -1, 0.0, 0.0
+	for i, v := range values {
+		sum += v
+		if idx == -1 || v > max {
+			idx, max = i, v
+		}
+	}
+	if sum <= 0 {
+		return -1, 0
+	}
+	return idx, max / sum
+}
+
+// Deviation describes one resource whose temporal partitioning differs
+// from the majority of its cluster during a slice window.
+type Deviation struct {
+	// Resource is the leaf index; Path its hierarchy path.
+	Resource int
+	Path     string
+	// Cuts are the temporal cut positions this resource has inside the
+	// window while the majority has none (or different ones).
+	Cuts []int
+}
+
+// DeviatingResources finds resources whose temporal data partitioning
+// within [fromSlice, toSlice] differs from the dominant partitioning of
+// the whole platform — §V.A's list of significantly-impacted processes.
+// A resource deviates when its multiset of cut positions inside the window
+// differs from the most common multiset.
+func DeviatingResources(m *microscopic.Model, pt *partition.Partition, fromSlice, toSlice int) []Deviation {
+	T := m.NumSlices()
+	cuts := pt.TemporalCutsUnder(m.H.Root, T)
+	// Restrict cut positions to the window and canonicalize.
+	sig := make(map[int]string, m.NumResources())
+	perRes := make(map[int][]int, m.NumResources())
+	for s := 0; s < m.NumResources(); s++ {
+		var in []int
+		for _, c := range cuts[s] {
+			if c >= fromSlice && c <= toSlice {
+				in = append(in, c)
+			}
+		}
+		perRes[s] = in
+		sig[s] = fmt.Sprint(in)
+	}
+	// Majority signature.
+	counts := make(map[string]int)
+	for _, v := range sig {
+		counts[v]++
+	}
+	var majority string
+	best := -1
+	for k, c := range counts {
+		if c > best || (c == best && k < majority) {
+			majority, best = k, c
+		}
+	}
+	var out []Deviation
+	for s := 0; s < m.NumResources(); s++ {
+		if sig[s] != majority {
+			out = append(out, Deviation{Resource: s, Path: m.H.ResourcePaths[s], Cuts: perRes[s]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Resource < out[j].Resource })
+	return out
+}
+
+// ClusterSummary aggregates the partition's behaviour per depth-k node:
+// how many areas it was split into, whether it is spatially merged, and
+// its dominant state.
+type ClusterSummary struct {
+	Path  string
+	Areas int
+	// SpatiallyMerged is true when the cluster appears as whole-node
+	// areas only (never split below the cluster).
+	SpatiallyMerged bool
+	// TemporalCuts is the number of distinct temporal boundaries inside
+	// the cluster.
+	TemporalCuts int
+	Mode         int
+	Alpha        float64
+}
+
+// SummarizeClusters describes each node at the given hierarchy depth —
+// the per-cluster reading of Fig. 4 (Graphene homogeneous, Graphite
+// separated, Griffon ruptured).
+func SummarizeClusters(agg *core.Aggregator, pt *partition.Partition, depth int) []ClusterSummary {
+	m := agg.Model
+	var out []ClusterSummary
+	for _, n := range m.H.Nodes {
+		if n.Depth != depth || n.IsLeaf() {
+			continue
+		}
+		cs := ClusterSummary{Path: n.Path, SpatiallyMerged: true}
+		cutSet := map[int]bool{}
+		for _, a := range pt.Areas {
+			if !n.Contains(a.Node) {
+				continue
+			}
+			cs.Areas++
+			if a.Node != n {
+				cs.SpatiallyMerged = false
+			}
+			if a.J < m.NumSlices()-1 {
+				cutSet[a.J] = true
+			}
+		}
+		cs.TemporalCuts = len(cutSet)
+		info := agg.Describe(partition.Area{Node: n, I: 0, J: m.NumSlices() - 1})
+		cs.Mode, cs.Alpha = info.Mode, info.Alpha
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// Report is a human-readable digest of one aggregated trace.
+type Report struct {
+	Phases     []Phase
+	Deviations []Deviation
+	Clusters   []ClusterSummary
+	Areas      int
+	Gain, Loss float64
+}
+
+// Describe runs the standard §V reading of a partition: phases from the
+// model, per-cluster summaries at the cluster depth, and deviating
+// resources over the whole window.
+func Describe(agg *core.Aggregator, pt *partition.Partition, clusterDepth int) Report {
+	m := agg.Model
+	return Report{
+		Phases:     Phases(m),
+		Deviations: DeviatingResources(m, pt, 0, m.NumSlices()-1),
+		Clusters:   SummarizeClusters(agg, pt, clusterDepth),
+		Areas:      pt.NumAreas(),
+		Gain:       pt.Gain,
+		Loss:       pt.Loss,
+	}
+}
+
+// Format renders the report as text, naming states through the model.
+func (r Report) Format(states []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition: %d areas (gain %.1f bits, loss %.1f bits)\n", r.Areas, r.Gain, r.Loss)
+	b.WriteString("phases:\n")
+	for _, p := range r.Phases {
+		name := "idle"
+		if p.Mode >= 0 && p.Mode < len(states) {
+			name = states[p.Mode]
+		}
+		fmt.Fprintf(&b, "  %7.2fs – %7.2fs  %-14s (share %.0f%%)\n", p.Start, p.End, name, 100*p.Alpha)
+	}
+	if len(r.Clusters) > 0 {
+		b.WriteString("clusters:\n")
+		for _, c := range r.Clusters {
+			shape := "spatially merged"
+			if !c.SpatiallyMerged {
+				shape = "spatially separated"
+			}
+			fmt.Fprintf(&b, "  %-28s %3d areas, %2d temporal cuts, %s\n", c.Path, c.Areas, c.TemporalCuts, shape)
+		}
+	}
+	if len(r.Deviations) > 0 {
+		fmt.Fprintf(&b, "deviating resources (%d):\n", len(r.Deviations))
+		for i, d := range r.Deviations {
+			if i == 12 {
+				fmt.Fprintf(&b, "  … and %d more\n", len(r.Deviations)-i)
+				break
+			}
+			fmt.Fprintf(&b, "  %-40s cuts at %v\n", d.Path, d.Cuts)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,233 @@
+// Package exhaustive provides brute-force reference implementations used by
+// the test suite to certify the optimality of the fast algorithms on small
+// instances. Everything here is deliberately written from first principles
+// (direct iteration over microscopic areas, explicit partition enumeration)
+// and shares no code with the optimized paths in core, spatial or temporal.
+//
+// The enumeration cost is exponential (the paper notes |H(S)| = Θ(c^|S|)
+// and |I(T)| = O(2^|T|)); callers keep |S| and |T| small.
+package exhaustive
+
+import (
+	"math"
+
+	"ocelotl/internal/hierarchy"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/partition"
+)
+
+// AreaGainLoss computes the (gain, loss) of one spatiotemporal area from
+// the raw microscopic model, applying Eqs. 1–3 verbatim: no prefix sums, no
+// shared accumulators.
+func AreaGainLoss(m *microscopic.Model, ar partition.Area) (gain, loss float64) {
+	X := m.NumStates()
+	for x := 0; x < X; x++ {
+		// Eq. 1: average over resources of the per-resource
+		// time-weighted ratios.
+		var agg float64
+		for s := ar.Node.Lo; s < ar.Node.Hi; s++ {
+			var num, den float64
+			for t := ar.I; t <= ar.J; t++ {
+				num += m.D(x, s, t)
+				den += m.SliceDur[t]
+			}
+			if den > 0 {
+				agg += num / den
+			}
+		}
+		agg /= float64(ar.Node.Size())
+		// Eqs. 2 and 3 over the microscopic areas.
+		var sumRho, sumRL float64
+		for s := ar.Node.Lo; s < ar.Node.Hi; s++ {
+			for t := ar.I; t <= ar.J; t++ {
+				rho := m.Rho(x, s, t)
+				if rho > 0 {
+					sumRho += rho
+					sumRL += rho * math.Log2(rho)
+				}
+			}
+		}
+		if agg > 0 {
+			loss += sumRL - sumRho*math.Log2(agg)
+			gain += agg*math.Log2(agg) - sumRL
+		} else {
+			gain += -sumRL
+		}
+	}
+	return gain, loss
+}
+
+// PartitionPIC scores a whole partition at ratio p from first principles.
+func PartitionPIC(m *microscopic.Model, pt *partition.Partition, p float64) float64 {
+	var pic float64
+	for _, ar := range pt.Areas {
+		g, l := AreaGainLoss(m, ar)
+		pic += p*g - (1-p)*l
+	}
+	return pic
+}
+
+// EnumerateSpatiotemporal yields every hierarchy-and-order-consistent
+// partition of (node, [i, j]) as slices of areas. Duplicate partitions
+// (reachable through different cut sequences) are deduplicated. The limit
+// caps the number of distinct partitions produced (<=0 means no cap);
+// enumeration stops silently once reached, so optimality checks should use
+// sizes well below the cap.
+func EnumerateSpatiotemporal(node *hierarchy.Node, i, j, limit int) [][]partition.Area {
+	seen := make(map[string]bool)
+	var out [][]partition.Area
+	emit := func(p []partition.Area) bool {
+		cp := &partition.Partition{Areas: p}
+		sig := cp.Signature()
+		if !seen[sig] {
+			seen[sig] = true
+			out = append(out, append([]partition.Area(nil), p...))
+		}
+		return limit <= 0 || len(out) < limit
+	}
+	var enum func(n *hierarchy.Node, a, b int) [][]partition.Area
+	enum = func(n *hierarchy.Node, a, b int) [][]partition.Area {
+		var res [][]partition.Area
+		res = append(res, []partition.Area{{Node: n, I: a, J: b}})
+		if !n.IsLeaf() {
+			// Spatial cut: cross product of children partitions.
+			parts := make([][][]partition.Area, len(n.Children))
+			for ci, c := range n.Children {
+				parts[ci] = enum(c, a, b)
+			}
+			for _, combo := range crossProduct(parts) {
+				res = append(res, combo)
+			}
+		}
+		for cut := a; cut < b; cut++ {
+			left := enum(n, a, cut)
+			right := enum(n, cut+1, b)
+			for _, l := range left {
+				for _, r := range right {
+					res = append(res, append(append([]partition.Area(nil), l...), r...))
+				}
+			}
+		}
+		return res
+	}
+	for _, p := range enum(node, i, j) {
+		if !emit(p) {
+			break
+		}
+	}
+	return out
+}
+
+// crossProduct combines one partition choice per child into flat area lists.
+func crossProduct(parts [][][]partition.Area) [][]partition.Area {
+	out := [][]partition.Area{nil}
+	for _, choices := range parts {
+		var next [][]partition.Area
+		for _, acc := range out {
+			for _, ch := range choices {
+				next = append(next, append(append([]partition.Area(nil), acc...), ch...))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// BestSpatiotemporal exhaustively searches the optimal partition of the
+// whole model at ratio p and returns its pIC and one partition achieving
+// it. Use only on tiny models.
+func BestSpatiotemporal(m *microscopic.Model, p float64) (float64, *partition.Partition) {
+	best := math.Inf(-1)
+	var bestPt *partition.Partition
+	for _, areas := range EnumerateSpatiotemporal(m.H.Root, 0, m.NumSlices()-1, 0) {
+		pt := &partition.Partition{Areas: areas, P: p}
+		v := PartitionPIC(m, pt, p)
+		if v > best {
+			best, bestPt = v, pt
+		}
+	}
+	return best, bestPt
+}
+
+// CountSpatiotemporal returns the number of distinct hierarchy-and-order-
+// consistent partitions of the model's A(S×T) (for structure tests).
+func CountSpatiotemporal(h *hierarchy.Hierarchy, slices int) int {
+	return len(EnumerateSpatiotemporal(h.Root, 0, slices-1, 0))
+}
+
+// IntervalCompositions yields every order-consistent partition of [0, n-1]
+// as lists of [i, j] interval bounds — all 2^(n-1) compositions.
+func IntervalCompositions(n int) [][][2]int {
+	var out [][][2]int
+	var rec func(start int, acc [][2]int)
+	rec = func(start int, acc [][2]int) {
+		if start == n {
+			out = append(out, append([][2]int(nil), acc...))
+			return
+		}
+		for end := start; end < n; end++ {
+			rec(end+1, append(acc, [2]int{start, end}))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+// BestTemporal exhaustively finds the optimal order-consistent partition
+// value for a caller-supplied interval scorer (e.g. the temporal baseline's
+// IntervalGainLoss composed with pIC).
+func BestTemporal(n int, score func(i, j int) float64) (float64, [][2]int) {
+	best := math.Inf(-1)
+	var bestIv [][2]int
+	for _, comp := range IntervalCompositions(n) {
+		var v float64
+		for _, iv := range comp {
+			v += score(iv[0], iv[1])
+		}
+		if v > best {
+			best, bestIv = v, comp
+		}
+	}
+	return best, bestIv
+}
+
+// HierarchyPartitions yields every hierarchy-consistent partition of the
+// subtree rooted at n, as lists of nodes.
+func HierarchyPartitions(n *hierarchy.Node) [][]*hierarchy.Node {
+	res := [][]*hierarchy.Node{{n}}
+	if n.IsLeaf() {
+		return res
+	}
+	parts := make([][][]*hierarchy.Node, len(n.Children))
+	for ci, c := range n.Children {
+		parts[ci] = HierarchyPartitions(c)
+	}
+	combos := [][]*hierarchy.Node{nil}
+	for _, choices := range parts {
+		var next [][]*hierarchy.Node
+		for _, acc := range combos {
+			for _, ch := range choices {
+				next = append(next, append(append([]*hierarchy.Node(nil), acc...), ch...))
+			}
+		}
+		combos = next
+	}
+	return append(res, combos...)
+}
+
+// BestSpatial exhaustively finds the optimal hierarchy-consistent partition
+// value for a caller-supplied node scorer.
+func BestSpatial(root *hierarchy.Node, score func(*hierarchy.Node) float64) (float64, []*hierarchy.Node) {
+	best := math.Inf(-1)
+	var bestNodes []*hierarchy.Node
+	for _, nodes := range HierarchyPartitions(root) {
+		var v float64
+		for _, n := range nodes {
+			v += score(n)
+		}
+		if v > best {
+			best, bestNodes = v, nodes
+		}
+	}
+	return best, bestNodes
+}

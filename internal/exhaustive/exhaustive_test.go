@@ -1,0 +1,206 @@
+package exhaustive
+
+import (
+	"math"
+	"testing"
+
+	"ocelotl/internal/hierarchy"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/partition"
+	"ocelotl/internal/timeslice"
+)
+
+func flatModel(t *testing.T, values [][]float64) *microscopic.Model {
+	t.Helper()
+	paths := make([]string, len(values))
+	for i := range paths {
+		paths[i] = "g/r" + string(rune('0'+i))
+	}
+	h, err := hierarchy.FromPaths(paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	T := len(values[0])
+	sl, _ := timeslice.New(0, float64(T), T)
+	m := microscopic.NewEmpty(h, sl, []string{"x"})
+	for s, row := range values {
+		for ti, v := range row {
+			m.AddD(0, s, ti, v)
+		}
+	}
+	return m
+}
+
+func TestIntervalCompositionsCount(t *testing.T) {
+	for n := 1; n <= 8; n++ {
+		got := len(IntervalCompositions(n))
+		want := 1 << (n - 1)
+		if got != want {
+			t.Errorf("compositions(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestIntervalCompositionsAreValid(t *testing.T) {
+	for _, comp := range IntervalCompositions(5) {
+		at := 0
+		for _, iv := range comp {
+			if iv[0] != at || iv[1] < iv[0] {
+				t.Fatalf("bad composition %v", comp)
+			}
+			at = iv[1] + 1
+		}
+		if at != 5 {
+			t.Fatalf("composition %v does not cover [0,5)", comp)
+		}
+	}
+}
+
+func TestHierarchyPartitionsCount(t *testing.T) {
+	// A binary tree with 2 clusters of 2 leaves: partitions are
+	// root | {A,B} with A ∈ {A, {a0,a1}}, B likewise → 1 + 2·2 = 5.
+	h, _ := hierarchy.FromPaths([]string{"A/a0", "A/a1", "B/b0", "B/b1"})
+	got := len(HierarchyPartitions(h.Root))
+	if got != 5 {
+		t.Errorf("hierarchy partitions = %d, want 5", got)
+	}
+}
+
+func TestHierarchyPartitionsAreValid(t *testing.T) {
+	h, _ := hierarchy.FromPaths([]string{"A/a0", "A/a1", "B/b0", "B/b1", "B/b2"})
+	for _, nodes := range HierarchyPartitions(h.Root) {
+		covered := make([]int, h.NumLeaves())
+		for _, n := range nodes {
+			for s := n.Lo; s < n.Hi; s++ {
+				covered[s]++
+			}
+		}
+		for s, c := range covered {
+			if c != 1 {
+				t.Fatalf("leaf %d covered %d times by %v", s, c, nodes)
+			}
+		}
+	}
+}
+
+func TestEnumerateSpatiotemporalAllValid(t *testing.T) {
+	h, _ := hierarchy.FromPaths([]string{"A/a0", "A/a1", "B/b0"})
+	T := 3
+	parts := EnumerateSpatiotemporal(h.Root, 0, T-1, 0)
+	if len(parts) == 0 {
+		t.Fatal("no partitions enumerated")
+	}
+	for _, areas := range parts {
+		pt := &partition.Partition{Areas: areas}
+		if err := pt.Validate(h, T); err != nil {
+			t.Fatalf("enumerated partition invalid: %v (%v)", err, areas)
+		}
+	}
+	// Distinctness is guaranteed by construction; verify anyway.
+	seen := map[string]bool{}
+	for _, areas := range parts {
+		sig := (&partition.Partition{Areas: areas}).Signature()
+		if seen[sig] {
+			t.Fatalf("duplicate partition %s", sig)
+		}
+		seen[sig] = true
+	}
+}
+
+func TestEnumerateRespectsLimit(t *testing.T) {
+	h, _ := hierarchy.FromPaths([]string{"A/a0", "A/a1", "B/b0"})
+	parts := EnumerateSpatiotemporal(h.Root, 0, 2, 7)
+	if len(parts) != 7 {
+		t.Errorf("limit ignored: got %d", len(parts))
+	}
+}
+
+func TestEnumerateSingleLeafMatchesCompositions(t *testing.T) {
+	h, _ := hierarchy.FromPaths([]string{"only"})
+	T := 5
+	parts := EnumerateSpatiotemporal(h.Root, 0, T-1, 0)
+	// Root has exactly one child (the leaf); every temporal composition
+	// exists at both levels, and mixed root/leaf splits multiply the
+	// count. The count must be at least 2^(T-1) and every partition
+	// valid.
+	if len(parts) < 1<<(T-1) {
+		t.Errorf("got %d partitions, want at least %d", len(parts), 1<<(T-1))
+	}
+	for _, areas := range parts {
+		pt := &partition.Partition{Areas: areas}
+		if err := pt.Validate(h, T); err != nil {
+			t.Fatalf("invalid: %v", err)
+		}
+	}
+}
+
+func TestAreaGainLossHomogeneous(t *testing.T) {
+	m := flatModel(t, [][]float64{{0.4, 0.4}, {0.4, 0.4}})
+	g, l := AreaGainLoss(m, partition.Area{Node: m.H.Root, I: 0, J: 1})
+	if math.Abs(l) > 1e-12 {
+		t.Errorf("homogeneous loss = %g", l)
+	}
+	want := -3 * 0.4 * math.Log2(0.4) // plogp(0.4) - 4·plogp(0.4)
+	if math.Abs(g-want) > 1e-12 {
+		t.Errorf("gain = %g, want %g", g, want)
+	}
+}
+
+func TestBestSpatiotemporalOnPhasePattern(t *testing.T) {
+	// One clean phase change; the best partition at moderate p should
+	// carry zero loss by cutting at the change.
+	m := flatModel(t, [][]float64{
+		{0.2, 0.2, 0.8, 0.8},
+		{0.2, 0.2, 0.8, 0.8},
+	})
+	best, pt := BestSpatiotemporal(m, 0.5)
+	if pt == nil {
+		t.Fatal("no partition returned")
+	}
+	if pt.Loss != 0 {
+		// Loss is not stored by BestSpatiotemporal; recompute.
+		var loss float64
+		for _, a := range pt.Areas {
+			_, l := AreaGainLoss(m, a)
+			loss += l
+		}
+		if loss > 1e-9 {
+			t.Errorf("best partition has loss %g, expected a lossless cut at the phase change", loss)
+		}
+	}
+	if best < 0 {
+		t.Errorf("best pIC = %g < 0; aggregating two homogeneous phases should pay", best)
+	}
+	if err := pt.Validate(m.H, m.NumSlices()); err != nil {
+		t.Errorf("best partition invalid: %v", err)
+	}
+}
+
+func TestPartitionPICAdditivity(t *testing.T) {
+	m := flatModel(t, [][]float64{{0.1, 0.9, 0.5}, {0.3, 0.7, 0.5}})
+	root := partition.Area{Node: m.H.Root, I: 0, J: 2}
+	g, l := AreaGainLoss(m, root)
+	pt := &partition.Partition{Areas: []partition.Area{root}}
+	for _, p := range []float64{0, 0.5, 1} {
+		want := p*g - (1-p)*l
+		if got := PartitionPIC(m, pt, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("p=%v: PartitionPIC = %g, want %g", p, got, want)
+		}
+	}
+}
+
+func TestCountSpatiotemporalGrowth(t *testing.T) {
+	h, _ := hierarchy.FromPaths([]string{"A/a0", "A/a1"})
+	c2 := CountSpatiotemporal(h, 2)
+	c3 := CountSpatiotemporal(h, 3)
+	if c3 <= c2 {
+		t.Errorf("partition count should grow with |T|: %d then %d", c2, c3)
+	}
+}
+
+func TestBestTemporalDegenerate(t *testing.T) {
+	best, ivs := BestTemporal(1, func(i, j int) float64 { return -1 })
+	if best != -1 || len(ivs) != 1 {
+		t.Errorf("BestTemporal(1) = (%g, %v)", best, ivs)
+	}
+}

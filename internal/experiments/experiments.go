@@ -1,0 +1,83 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§V). Each Run* function writes its report to Config.Out and
+// its artifacts (SVG/PNG) under Config.OutDir; cmd/experiments is the
+// command-line wrapper. Keeping the logic here makes the whole evaluation
+// pipeline testable.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// Config parametrizes an experiment run.
+type Config struct {
+	// OutDir receives rendered artifacts (created by Run if missing).
+	OutDir string
+	// Scale multiplies the paper's Table II event counts.
+	Scale float64
+	// Seed drives the simulators.
+	Seed int64
+	// Slices is the microscopic |T| (the paper uses 30).
+	Slices int
+	// Out receives the textual report (default os.Stdout).
+	Out io.Writer
+}
+
+func (c Config) out() io.Writer {
+	if c.Out != nil {
+		return c.Out
+	}
+	return os.Stdout
+}
+
+func (c Config) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.out(), format, args...)
+}
+
+func (c Config) println(args ...interface{}) {
+	fmt.Fprintln(c.out(), args...)
+}
+
+func (c Config) artifact(name string) string { return filepath.Join(c.OutDir, name) }
+
+// Names lists the experiments in canonical order.
+func Names() []string {
+	return []string{"table1", "fig3", "table2", "fig1", "fig2", "fig4", "ablation"}
+}
+
+// Run dispatches one experiment by name ("all" runs everything).
+func Run(name string, cfg Config) error {
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return err
+		}
+	}
+	fns := map[string]func(Config) error{
+		"table1": RunTable1, "fig3": RunFig3, "table2": RunTable2,
+		"fig1": RunFig1, "fig2": RunFig2, "fig4": RunFig4, "ablation": RunAblation,
+	}
+	if name == "all" {
+		for _, n := range Names() {
+			if err := fns[n](cfg); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	fn, ok := fns[name]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q", name)
+	}
+	return fn(cfg)
+}
+
+// timed measures one pipeline stage.
+func timed(fn func() error) (time.Duration, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start), err
+}

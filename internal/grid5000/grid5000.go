@@ -1,0 +1,217 @@
+// Package grid5000 models the experimental platform of the paper's
+// evaluation (§V): Grid'5000 sites, their clusters, machines and cores,
+// and the four Table II case configurations. The aggregation algorithms
+// only consume the resource *hierarchy* (site → cluster → machine →
+// process-bound-to-core) plus coarse interconnect characteristics used by
+// the MPI simulator, so this declarative model is a faithful substitute
+// for the physical testbed.
+package grid5000
+
+import (
+	"fmt"
+
+	"ocelotl/internal/hierarchy"
+)
+
+// Network is the coarse interconnect class of a cluster; the simulator
+// uses it to scale communication latencies (the paper attributes the
+// Graphite cluster's heterogeneous behaviour to its slower Ethernet).
+type Network int
+
+const (
+	// Infiniband20G covers the MT25418/Infiniband-20G interconnects of
+	// parapide, graphene, griffon, adonis, edel, genepi…
+	Infiniband20G Network = iota
+	// Ethernet10G is the 10 Gigabit Ethernet of the Graphite cluster.
+	Ethernet10G
+	// Ethernet1G models commodity gigabit for synthetic experiments.
+	Ethernet1G
+)
+
+// String names the network class.
+func (n Network) String() string {
+	switch n {
+	case Infiniband20G:
+		return "infiniband-20G"
+	case Ethernet10G:
+		return "ethernet-10G"
+	case Ethernet1G:
+		return "ethernet-1G"
+	default:
+		return fmt.Sprintf("network(%d)", int(n))
+	}
+}
+
+// LatencyFactor returns the simulator's relative communication latency
+// multiplier for this network class (Infiniband = 1).
+func (n Network) LatencyFactor() float64 {
+	switch n {
+	case Infiniband20G:
+		return 1
+	case Ethernet10G:
+		return 3.5
+	case Ethernet1G:
+		return 8
+	default:
+		return 1
+	}
+}
+
+// Cluster describes one homogeneous Grid'5000 cluster.
+type Cluster struct {
+	Name     string
+	Machines int // number of nodes available to the experiment
+	Cores    int // cores per machine (= MPI processes bound per node)
+	Network  Network
+}
+
+// TotalCores returns Machines·Cores.
+func (c Cluster) TotalCores() int { return c.Machines * c.Cores }
+
+// Platform is a site with the clusters allocated to one experiment.
+type Platform struct {
+	Site     string
+	Clusters []Cluster
+}
+
+// TotalCores sums the cores of every cluster.
+func (p Platform) TotalCores() int {
+	total := 0
+	for _, c := range p.Clusters {
+		total += c.TotalCores()
+	}
+	return total
+}
+
+// ResourcePaths enumerates the hierarchical paths of the first n process
+// slots, binding processes to cores machine by machine, cluster by cluster
+// — exactly the paper's layout ("each MPI process is bound to a core",
+// cores grouped by machines, machines by clusters, clusters by site).
+// n ≤ 0 means all cores. Paths look like
+// "rennes/parapide/parapide-3/p42" where p42 is the MPI rank.
+func (p Platform) ResourcePaths(n int) []string {
+	if n <= 0 || n > p.TotalCores() {
+		n = p.TotalCores()
+	}
+	paths := make([]string, 0, n)
+	rank := 0
+	for _, c := range p.Clusters {
+		for m := 1; m <= c.Machines && rank < n; m++ {
+			for k := 0; k < c.Cores && rank < n; k++ {
+				paths = append(paths, fmt.Sprintf("%s/%s/%s-%d/p%d", p.Site, c.Name, c.Name, m, rank))
+				rank++
+			}
+		}
+	}
+	return paths
+}
+
+// Hierarchy builds the platform hierarchy for the first n process slots.
+func (p Platform) Hierarchy(n int) (*hierarchy.Hierarchy, error) {
+	return hierarchy.FromPaths(p.ResourcePaths(n))
+}
+
+// ClusterOf returns the cluster hosting the given rank (following the
+// same binding order as ResourcePaths) and the rank's machine index within
+// that cluster, or an error if the rank is out of range.
+func (p Platform) ClusterOf(rank int) (Cluster, int, error) {
+	at := 0
+	for _, c := range p.Clusters {
+		if rank < at+c.TotalCores() {
+			within := rank - at
+			return c, within / c.Cores, nil
+		}
+		at += c.TotalCores()
+	}
+	return Cluster{}, 0, fmt.Errorf("grid5000: rank %d beyond platform capacity %d", rank, at)
+}
+
+// Case identifies one of the paper's Table II scenarios.
+type Case string
+
+// The four evaluation scenarios of Table II.
+const (
+	CaseA Case = "A" // CG class C,  64 processes, Rennes/parapide
+	CaseB Case = "B" // CG class C, 512 processes, Grenoble/adonis+edel+genepi
+	CaseC Case = "C" // LU class C, 700 processes, Nancy/graphene+graphite+griffon
+	CaseD Case = "D" // LU class B, 900 processes, Rennes/paradent+parapide+parapluie
+)
+
+// Scenario bundles everything Table II specifies for one case: the
+// application and class, the process count, the platform, and the event
+// count of the paper's trace (used to calibrate the simulator).
+type Scenario struct {
+	Case        Case
+	Application string // "CG" or "LU"
+	Class       string // NPB class ("B", "C")
+	Processes   int
+	Platform    Platform
+	// PaperEvents is the event count reported in Table II.
+	PaperEvents int
+	// PaperTraceMB is the trace size reported in Table II (megabytes).
+	PaperTraceMB float64
+	// PaperRuntime is the traced application's wall-clock span in
+	// seconds (from the paper's figures: ≈9.5 s for case A, ≈70 s for
+	// case C; cases B and D estimated from class/process scaling).
+	PaperRuntime float64
+}
+
+// Scenarios returns the Table II configuration for the given case.
+func Scenarios(c Case) (Scenario, error) {
+	switch c {
+	case CaseA:
+		return Scenario{
+			Case: CaseA, Application: "CG", Class: "C", Processes: 64,
+			Platform: Platform{Site: "rennes", Clusters: []Cluster{
+				{Name: "parapide", Machines: 8, Cores: 8, Network: Infiniband20G},
+			}},
+			PaperEvents: 3838144, PaperTraceMB: 136.9, PaperRuntime: 9.5,
+		}, nil
+	case CaseB:
+		return Scenario{
+			Case: CaseB, Application: "CG", Class: "C", Processes: 512,
+			Platform: Platform{Site: "grenoble", Clusters: []Cluster{
+				{Name: "adonis", Machines: 9, Cores: 8, Network: Infiniband20G},
+				{Name: "edel", Machines: 24, Cores: 8, Network: Infiniband20G},
+				{Name: "genepi", Machines: 31, Cores: 8, Network: Infiniband20G},
+			}},
+			PaperEvents: 49149440, PaperTraceMB: 1843.2, PaperRuntime: 30,
+		}, nil
+	case CaseC:
+		return Scenario{
+			Case: CaseC, Application: "LU", Class: "C", Processes: 700,
+			Platform: Platform{Site: "nancy", Clusters: []Cluster{
+				{Name: "graphene", Machines: 26, Cores: 4, Network: Infiniband20G},
+				{Name: "graphite", Machines: 4, Cores: 16, Network: Ethernet10G},
+				{Name: "griffon", Machines: 67, Cores: 8, Network: Infiniband20G},
+			}},
+			PaperEvents: 218457456, PaperTraceMB: 8499.2, PaperRuntime: 70,
+		}, nil
+	case CaseD:
+		return Scenario{
+			Case: CaseD, Application: "LU", Class: "B", Processes: 900,
+			Platform: Platform{Site: "rennes", Clusters: []Cluster{
+				{Name: "paradent", Machines: 38, Cores: 8, Network: Infiniband20G},
+				{Name: "parapide", Machines: 21, Cores: 8, Network: Infiniband20G},
+				{Name: "parapluie", Machines: 18, Cores: 24, Network: Infiniband20G},
+			}},
+			PaperEvents: 177376729, PaperTraceMB: 6860.8, PaperRuntime: 45,
+		}, nil
+	default:
+		return Scenario{}, fmt.Errorf("grid5000: unknown case %q (want A, B, C or D)", c)
+	}
+}
+
+// AllCases lists the Table II cases in order.
+func AllCases() []Case { return []Case{CaseA, CaseB, CaseC, CaseD} }
+
+// Validate checks that the scenario's platform can host its processes.
+func (s Scenario) Validate() error {
+	if s.Processes <= 0 {
+		return fmt.Errorf("grid5000: case %s has no processes", s.Case)
+	}
+	if cap := s.Platform.TotalCores(); s.Processes > cap {
+		return fmt.Errorf("grid5000: case %s needs %d cores, platform has %d", s.Case, s.Processes, cap)
+	}
+	return nil
+}

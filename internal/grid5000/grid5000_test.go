@@ -1,0 +1,179 @@
+package grid5000
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScenariosTableII(t *testing.T) {
+	want := []struct {
+		c      Case
+		app    string
+		procs  int
+		site   string
+		events int
+	}{
+		{CaseA, "CG", 64, "rennes", 3838144},
+		{CaseB, "CG", 512, "grenoble", 49149440},
+		{CaseC, "LU", 700, "nancy", 218457456},
+		{CaseD, "LU", 900, "rennes", 177376729},
+	}
+	for _, w := range want {
+		sc, err := Scenarios(w.c)
+		if err != nil {
+			t.Fatalf("case %s: %v", w.c, err)
+		}
+		if sc.Application != w.app || sc.Processes != w.procs || sc.Platform.Site != w.site || sc.PaperEvents != w.events {
+			t.Errorf("case %s = %+v, want %+v", w.c, sc, w)
+		}
+		if err := sc.Validate(); err != nil {
+			t.Errorf("case %s invalid: %v", w.c, err)
+		}
+	}
+}
+
+func TestScenariosUnknown(t *testing.T) {
+	if _, err := Scenarios("Z"); err == nil {
+		t.Error("unknown case accepted")
+	}
+}
+
+func TestAllCases(t *testing.T) {
+	if got := AllCases(); len(got) != 4 || got[0] != CaseA || got[3] != CaseD {
+		t.Errorf("AllCases = %v", got)
+	}
+}
+
+func TestPlatformCapacityCoversProcesses(t *testing.T) {
+	for _, c := range AllCases() {
+		sc, _ := Scenarios(c)
+		if cap := sc.Platform.TotalCores(); cap < sc.Processes {
+			t.Errorf("case %s: %d processes on %d cores", c, sc.Processes, cap)
+		}
+	}
+}
+
+func TestResourcePaths(t *testing.T) {
+	p := Platform{Site: "s", Clusters: []Cluster{
+		{Name: "a", Machines: 2, Cores: 2, Network: Infiniband20G},
+		{Name: "b", Machines: 1, Cores: 3, Network: Ethernet10G},
+	}}
+	paths := p.ResourcePaths(0)
+	if len(paths) != 7 {
+		t.Fatalf("got %d paths, want 7", len(paths))
+	}
+	if paths[0] != "s/a/a-1/p0" || paths[2] != "s/a/a-2/p2" || paths[4] != "s/b/b-1/p4" {
+		t.Errorf("paths = %v", paths)
+	}
+	// Truncated allocation.
+	if got := p.ResourcePaths(3); len(got) != 3 {
+		t.Errorf("ResourcePaths(3) gave %d", len(got))
+	}
+	// Over-capacity request clamps.
+	if got := p.ResourcePaths(100); len(got) != 7 {
+		t.Errorf("ResourcePaths(100) gave %d", len(got))
+	}
+}
+
+func TestHierarchyStructure(t *testing.T) {
+	sc, _ := Scenarios(CaseA)
+	h, err := sc.Platform.Hierarchy(sc.Processes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLeaves() != 64 {
+		t.Errorf("case A leaves = %d, want 64", h.NumLeaves())
+	}
+	// site → cluster → machine → core = depth 4.
+	if h.Depth() != 4 {
+		t.Errorf("depth = %d, want 4", h.Depth())
+	}
+	// 8 machines of 8 cores.
+	counts := h.CountAtDepth()
+	if counts[3] != 8 || counts[4] != 64 {
+		t.Errorf("CountAtDepth = %v", counts)
+	}
+}
+
+func TestCaseCHeterogeneousLayout(t *testing.T) {
+	sc, _ := Scenarios(CaseC)
+	h, err := sc.Platform.Hierarchy(sc.Processes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three clusters under the nancy site.
+	site := h.Root.Children[0]
+	if site.Name != "nancy" || len(site.Children) != 3 {
+		t.Fatalf("site layout wrong: %s with %d clusters", site.Name, len(site.Children))
+	}
+	names := []string{site.Children[0].Name, site.Children[1].Name, site.Children[2].Name}
+	if strings.Join(names, ",") != "graphene,graphite,griffon" {
+		t.Errorf("clusters = %v", names)
+	}
+	// graphene: 26 machines × 4 cores = 104 leaves.
+	if got := site.Children[0].Size(); got != 104 {
+		t.Errorf("graphene size = %d, want 104", got)
+	}
+	// graphite: 4 × 16 = 64.
+	if got := site.Children[1].Size(); got != 64 {
+		t.Errorf("graphite size = %d, want 64", got)
+	}
+	// griffon gets the remaining 700-104-64 = 532.
+	if got := site.Children[2].Size(); got != 532 {
+		t.Errorf("griffon size = %d, want 532", got)
+	}
+}
+
+func TestClusterOf(t *testing.T) {
+	sc, _ := Scenarios(CaseC)
+	cl, machine, err := sc.Platform.ClusterOf(0)
+	if err != nil || cl.Name != "graphene" || machine != 0 {
+		t.Errorf("rank 0: %s machine %d (%v)", cl.Name, machine, err)
+	}
+	cl, _, err = sc.Platform.ClusterOf(104)
+	if err != nil || cl.Name != "graphite" {
+		t.Errorf("rank 104: %s (%v)", cl.Name, err)
+	}
+	cl, machine, err = sc.Platform.ClusterOf(168 + 9)
+	if err != nil || cl.Name != "griffon" || machine != 1 {
+		t.Errorf("rank 177: %s machine %d (%v)", cl.Name, machine, err)
+	}
+	if _, _, err := sc.Platform.ClusterOf(999999); err == nil {
+		t.Error("out-of-range rank accepted")
+	}
+}
+
+func TestNetworkProperties(t *testing.T) {
+	if Infiniband20G.LatencyFactor() != 1 {
+		t.Error("infiniband latency factor should be the baseline 1")
+	}
+	if Ethernet10G.LatencyFactor() <= Infiniband20G.LatencyFactor() {
+		t.Error("ethernet must be slower than infiniband")
+	}
+	for _, n := range []Network{Infiniband20G, Ethernet10G, Ethernet1G} {
+		if n.String() == "" || strings.HasPrefix(n.String(), "network(") {
+			t.Errorf("missing name for %d", int(n))
+		}
+	}
+	if Network(99).String() != "network(99)" {
+		t.Error("unknown network String")
+	}
+	if Network(99).LatencyFactor() != 1 {
+		t.Error("unknown network latency factor should default to 1")
+	}
+}
+
+func TestScenarioValidateRejectsOversubscription(t *testing.T) {
+	sc, _ := Scenarios(CaseA)
+	sc.Processes = 10000
+	if err := sc.Validate(); err == nil {
+		t.Error("oversubscribed scenario accepted")
+	}
+	sc.Processes = 0
+	if err := sc.Validate(); err == nil {
+		t.Error("empty scenario accepted")
+	}
+}

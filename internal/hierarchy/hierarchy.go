@@ -1,0 +1,305 @@
+// Package hierarchy implements the spatial dimension of the trace model
+// (paper §III.A(1)): the resource set S structured by the platform
+// hierarchy H(S).
+//
+// Formally H(S) is a set of subsets of S containing S itself and every
+// singleton, such that any two parts are disjoint or nested. It is
+// equivalent to a rooted tree whose leaves are the singletons; this package
+// stores that tree. Leaves are assigned contiguous indices in depth-first
+// order, so every node covers the index range [Lo, Hi) — which is what lets
+// the aggregation algorithms address "the resources below node k" in O(1).
+package hierarchy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is one part S_k of the hierarchy: an inner node (a cluster, a
+// machine…) or a leaf (a single resource).
+type Node struct {
+	// Name is the last path component ("parapide-3").
+	Name string
+	// Path is the full slash-separated path from the root's child level
+	// ("rennes/parapide/parapide-3"). The root has path "".
+	Path string
+	// Children are the immediate sub-parts, in insertion order. Empty for
+	// leaves.
+	Children []*Node
+	// Parent is nil for the root.
+	Parent *Node
+	// Lo and Hi delimit the half-open range of leaf indices covered by
+	// this node. For a leaf, Hi == Lo+1.
+	Lo, Hi int
+	// Depth is 0 for the root.
+	Depth int
+	// ID is the node's index in Hierarchy.Nodes (DFS pre-order).
+	ID int
+}
+
+// IsLeaf reports whether the node is a singleton part {s}.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// Size returns |S_k|, the number of underlying resources.
+func (n *Node) Size() int { return n.Hi - n.Lo }
+
+// Contains reports whether other's leaf range is nested inside n's.
+func (n *Node) Contains(other *Node) bool { return n.Lo <= other.Lo && other.Hi <= n.Hi }
+
+// Walk calls fn on n and every descendant in pre-order. Returning false
+// from fn prunes the subtree.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Hierarchy is the full platform hierarchy: the rooted tree over S.
+type Hierarchy struct {
+	Root *Node
+	// Leaves holds the leaf nodes in index order; Leaves[i].Lo == i.
+	Leaves []*Node
+	// Nodes holds every node in DFS pre-order; Nodes[n.ID] == n.
+	Nodes []*Node
+	// ByPath maps full paths to nodes ("" is the root).
+	ByPath map[string]*Node
+	// ResourcePaths maps leaf index to the leaf's full path, i.e. the
+	// resource table in hierarchy order.
+	ResourcePaths []string
+}
+
+// NumLeaves returns |S|.
+func (h *Hierarchy) NumLeaves() int { return len(h.Leaves) }
+
+// NumNodes returns |H(S)|, the number of parts in the hierarchy.
+func (h *Hierarchy) NumNodes() int { return len(h.Nodes) }
+
+// Depth returns the maximum node depth (root = 0).
+func (h *Hierarchy) Depth() int {
+	max := 0
+	for _, n := range h.Nodes {
+		if n.Depth > max {
+			max = n.Depth
+		}
+	}
+	return max
+}
+
+// FromPaths builds a hierarchy from slash-separated resource paths: each
+// path becomes a leaf; intermediate components become inner nodes. Sibling
+// order follows first appearance in the input, so generators control layout
+// deterministically. Leaf indices are assigned in DFS order, which means
+// resources of the same machine/cluster are contiguous even if the input
+// interleaves them.
+//
+// Duplicate paths and paths that are prefixes of other paths (a resource
+// that is also a group) are rejected.
+func FromPaths(paths []string) (*Hierarchy, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("hierarchy: no resources")
+	}
+	root := &Node{Name: "", Path: ""}
+	index := map[string]*Node{"": root}
+	for _, p := range paths {
+		if p == "" {
+			return nil, fmt.Errorf("hierarchy: empty resource path")
+		}
+		if _, dup := index[p]; dup {
+			return nil, fmt.Errorf("hierarchy: duplicate resource path %q", p)
+		}
+		parts := strings.Split(p, "/")
+		cur := root
+		for i, part := range parts {
+			if part == "" {
+				return nil, fmt.Errorf("hierarchy: path %q has an empty component", p)
+			}
+			full := strings.Join(parts[:i+1], "/")
+			next, ok := index[full]
+			if !ok {
+				next = &Node{Name: part, Path: full, Parent: cur, Depth: cur.Depth + 1}
+				cur.Children = append(cur.Children, next)
+				index[full] = next
+			}
+			cur = next
+		}
+	}
+	// Every indexed path that is also a declared resource must be a leaf.
+	declared := make(map[string]bool, len(paths))
+	for _, p := range paths {
+		declared[p] = true
+	}
+	for p, n := range index {
+		if declared[p] && len(n.Children) > 0 {
+			return nil, fmt.Errorf("hierarchy: resource %q is also a group of %d resources", p, len(n.Children))
+		}
+	}
+	h := &Hierarchy{Root: root, ByPath: index}
+	h.finalize()
+	return h, nil
+}
+
+// FromFlat builds a single-level hierarchy (root with one leaf per name).
+// Useful for traces with no topological information.
+func FromFlat(names []string) (*Hierarchy, error) {
+	clean := make([]string, len(names))
+	for i, n := range names {
+		clean[i] = strings.ReplaceAll(n, "/", "_")
+	}
+	return FromPaths(clean)
+}
+
+// finalize assigns leaf ranges, node IDs and lookup tables by one DFS pass.
+func (h *Hierarchy) finalize() {
+	h.Leaves = h.Leaves[:0]
+	h.Nodes = h.Nodes[:0]
+	var dfs func(n *Node)
+	leaf := 0
+	dfs = func(n *Node) {
+		n.ID = len(h.Nodes)
+		h.Nodes = append(h.Nodes, n)
+		if n.IsLeaf() {
+			n.Lo, n.Hi = leaf, leaf+1
+			leaf++
+			h.Leaves = append(h.Leaves, n)
+			return
+		}
+		n.Lo = leaf
+		for _, c := range n.Children {
+			dfs(c)
+		}
+		n.Hi = leaf
+	}
+	dfs(h.Root)
+	h.ResourcePaths = make([]string, len(h.Leaves))
+	for i, l := range h.Leaves {
+		h.ResourcePaths[i] = l.Path
+	}
+}
+
+// Validate checks the hierarchy axioms of §III.A(1): the root covers the
+// whole set, children of each node are pairwise disjoint and tile their
+// parent exactly, leaf indices are contiguous, and parent/depth links are
+// coherent. It is primarily used by tests and by readers of untrusted
+// topology descriptions.
+func (h *Hierarchy) Validate() error {
+	if h.Root == nil {
+		return fmt.Errorf("hierarchy: nil root")
+	}
+	if h.Root.Lo != 0 || h.Root.Hi != len(h.Leaves) {
+		return fmt.Errorf("hierarchy: root covers [%d,%d), want [0,%d)", h.Root.Lo, h.Root.Hi, len(h.Leaves))
+	}
+	var err error
+	h.Root.Walk(func(n *Node) bool {
+		if n.Hi <= n.Lo {
+			err = fmt.Errorf("hierarchy: node %q has empty range [%d,%d)", n.Path, n.Lo, n.Hi)
+			return false
+		}
+		if n.IsLeaf() {
+			if n.Hi != n.Lo+1 {
+				err = fmt.Errorf("hierarchy: leaf %q has range [%d,%d)", n.Path, n.Lo, n.Hi)
+				return false
+			}
+			if h.Leaves[n.Lo] != n {
+				err = fmt.Errorf("hierarchy: leaf table mismatch at %d", n.Lo)
+				return false
+			}
+			return true
+		}
+		at := n.Lo
+		for _, c := range n.Children {
+			if c.Parent != n {
+				err = fmt.Errorf("hierarchy: %q has wrong parent link", c.Path)
+				return false
+			}
+			if c.Depth != n.Depth+1 {
+				err = fmt.Errorf("hierarchy: %q depth %d under depth %d", c.Path, c.Depth, n.Depth)
+				return false
+			}
+			if c.Lo != at {
+				err = fmt.Errorf("hierarchy: gap before %q: child starts at %d, want %d", c.Path, c.Lo, at)
+				return false
+			}
+			at = c.Hi
+		}
+		if at != n.Hi {
+			err = fmt.Errorf("hierarchy: children of %q tile [%d,%d), node covers [%d,%d)", n.Path, n.Lo, at, n.Lo, n.Hi)
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+// LeafIndex returns the leaf index of the resource with the given path, or
+// -1 if absent or not a leaf.
+func (h *Hierarchy) LeafIndex(path string) int {
+	n, ok := h.ByPath[path]
+	if !ok || !n.IsLeaf() {
+		return -1
+	}
+	return n.Lo
+}
+
+// Ancestors returns the chain from n's parent up to the root.
+func Ancestors(n *Node) []*Node {
+	var out []*Node
+	for p := n.Parent; p != nil; p = p.Parent {
+		out = append(out, p)
+	}
+	return out
+}
+
+// LowestCommonAncestor returns the deepest node containing both a and b.
+func (h *Hierarchy) LowestCommonAncestor(a, b *Node) *Node {
+	for !a.Contains(b) {
+		a = a.Parent
+	}
+	_ = b
+	return a
+}
+
+// CountAtDepth returns the number of nodes at each depth level.
+func (h *Hierarchy) CountAtDepth() []int {
+	out := make([]int, h.Depth()+1)
+	for _, n := range h.Nodes {
+		out[n.Depth]++
+	}
+	return out
+}
+
+// String renders a compact multi-line view of the tree (for debugging and
+// golden tests).
+func (h *Hierarchy) String() string {
+	var b strings.Builder
+	h.Root.Walk(func(n *Node) bool {
+		fmt.Fprintf(&b, "%s%s [%d,%d)\n", strings.Repeat("  ", n.Depth), nodeLabel(n), n.Lo, n.Hi)
+		return true
+	})
+	return b.String()
+}
+
+func nodeLabel(n *Node) string {
+	if n.Path == "" {
+		return "<root>"
+	}
+	return n.Name
+}
+
+// SortChildren orders every node's children lexicographically by name.
+// Builders that want canonical layout regardless of input order call this
+// before finalization is re-run.
+func (h *Hierarchy) SortChildren() {
+	h.Root.Walk(func(n *Node) bool {
+		sort.Slice(n.Children, func(i, j int) bool { return n.Children[i].Name < n.Children[j].Name })
+		return true
+	})
+	h.finalize()
+	for p := range h.ByPath {
+		delete(h.ByPath, p)
+	}
+	h.Root.Walk(func(n *Node) bool { h.ByPath[n.Path] = n; return true })
+}

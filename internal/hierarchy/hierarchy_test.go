@@ -1,0 +1,253 @@
+package hierarchy
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustBuild(t *testing.T, paths []string) *Hierarchy {
+	t.Helper()
+	h, err := FromPaths(paths)
+	if err != nil {
+		t.Fatalf("FromPaths(%v): %v", paths, err)
+	}
+	return h
+}
+
+func TestFromPathsBasic(t *testing.T) {
+	h := mustBuild(t, []string{"A/a0", "A/a1", "B/b0"})
+	if got := h.NumLeaves(); got != 3 {
+		t.Errorf("NumLeaves = %d, want 3", got)
+	}
+	if got := h.NumNodes(); got != 6 { // root + A + B + 3 leaves
+		t.Errorf("NumNodes = %d, want 6", got)
+	}
+	if err := h.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	a := h.ByPath["A"]
+	if a == nil || a.Lo != 0 || a.Hi != 2 {
+		t.Errorf("node A covers %v", a)
+	}
+	if h.LeafIndex("B/b0") != 2 {
+		t.Errorf("LeafIndex(B/b0) = %d, want 2", h.LeafIndex("B/b0"))
+	}
+}
+
+func TestFromPathsInterleavedInputStaysContiguous(t *testing.T) {
+	// Resources of the same group arrive interleaved; leaf ranges must
+	// still be contiguous per group.
+	h := mustBuild(t, []string{"A/a0", "B/b0", "A/a1", "B/b1", "A/a2"})
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	a, b := h.ByPath["A"], h.ByPath["B"]
+	if a.Size() != 3 || b.Size() != 2 {
+		t.Errorf("sizes: A=%d B=%d, want 3, 2", a.Size(), b.Size())
+	}
+	if a.Hi != b.Lo && b.Hi != a.Lo {
+		t.Errorf("groups not contiguous: A=[%d,%d) B=[%d,%d)", a.Lo, a.Hi, b.Lo, b.Hi)
+	}
+}
+
+func TestFromPathsRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{""},
+		{"a", "a"},
+		{"a/b", "a"},        // a is both group and resource
+		{"a", "a/b"},        // same, other order
+		{"x//y"},            // empty component
+		{"ok", "also//bad"}, // empty component later
+	}
+	for _, paths := range cases {
+		if _, err := FromPaths(paths); err == nil {
+			t.Errorf("FromPaths(%v) succeeded, want error", paths)
+		}
+	}
+}
+
+func TestFromFlat(t *testing.T) {
+	h, err := FromFlat([]string{"p0", "p/1", "p2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumLeaves() != 3 || h.Depth() != 1 {
+		t.Errorf("flat hierarchy: %d leaves depth %d", h.NumLeaves(), h.Depth())
+	}
+}
+
+func TestSingleResource(t *testing.T) {
+	h := mustBuild(t, []string{"only"})
+	if h.NumLeaves() != 1 || h.NumNodes() != 2 {
+		t.Errorf("leaves=%d nodes=%d", h.NumLeaves(), h.NumNodes())
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeepChain(t *testing.T) {
+	h := mustBuild(t, []string{"a/b/c/d/e"})
+	if h.Depth() != 5 {
+		t.Errorf("Depth = %d, want 5", h.Depth())
+	}
+	if err := h.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWalkOrderAndIDs(t *testing.T) {
+	h := mustBuild(t, []string{"A/a0", "A/a1", "B/b0"})
+	var order []string
+	h.Root.Walk(func(n *Node) bool {
+		order = append(order, n.Path)
+		if h.Nodes[n.ID] != n {
+			t.Errorf("node %q has wrong ID %d", n.Path, n.ID)
+		}
+		return true
+	})
+	want := []string{"", "A", "A/a0", "A/a1", "B", "B/b0"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("walk order %v, want %v", order, want)
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	h := mustBuild(t, []string{"A/a0", "A/a1", "B/b0"})
+	var visited []string
+	h.Root.Walk(func(n *Node) bool {
+		visited = append(visited, n.Path)
+		return n.Path != "A" // prune below A
+	})
+	for _, p := range visited {
+		if p == "A/a0" || p == "A/a1" {
+			t.Errorf("visited %q under pruned subtree", p)
+		}
+	}
+}
+
+func TestContainsAndLCA(t *testing.T) {
+	h := mustBuild(t, []string{"A/m0/c0", "A/m0/c1", "A/m1/c0", "B/m2/c0"})
+	a := h.ByPath["A"]
+	m0 := h.ByPath["A/m0"]
+	c0 := h.ByPath["A/m0/c0"]
+	bm := h.ByPath["B/m2/c0"]
+	if !a.Contains(c0) || c0.Contains(a) {
+		t.Error("Contains relation wrong for A vs A/m0/c0")
+	}
+	if got := h.LowestCommonAncestor(c0, h.ByPath["A/m0/c1"]); got != m0 {
+		t.Errorf("LCA = %q, want A/m0", got.Path)
+	}
+	if got := h.LowestCommonAncestor(c0, bm); got != h.Root {
+		t.Errorf("LCA across clusters = %q, want root", got.Path)
+	}
+}
+
+func TestAncestors(t *testing.T) {
+	h := mustBuild(t, []string{"A/m0/c0", "B/x"})
+	c0 := h.ByPath["A/m0/c0"]
+	anc := Ancestors(c0)
+	if len(anc) != 3 || anc[0].Path != "A/m0" || anc[1].Path != "A" || anc[2] != h.Root {
+		t.Errorf("Ancestors = %v", anc)
+	}
+}
+
+func TestCountAtDepth(t *testing.T) {
+	h := mustBuild(t, []string{"A/a0", "A/a1", "B/b0", "B/b1", "B/b2"})
+	got := h.CountAtDepth()
+	want := []int{1, 2, 5}
+	if len(got) != len(want) {
+		t.Fatalf("CountAtDepth = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("depth %d: %d nodes, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSortChildren(t *testing.T) {
+	h := mustBuild(t, []string{"B/b0", "A/a1", "A/a0"})
+	h.SortChildren()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("Validate after sort: %v", err)
+	}
+	if h.Root.Children[0].Name != "A" || h.Root.Children[1].Name != "B" {
+		t.Errorf("children not sorted: %v, %v", h.Root.Children[0].Name, h.Root.Children[1].Name)
+	}
+	if h.LeafIndex("A/a0") != 0 || h.LeafIndex("A/a1") != 1 || h.LeafIndex("B/b0") != 2 {
+		t.Error("leaf indices not reassigned after sort")
+	}
+}
+
+// TestHierarchyAxiomsProperty checks the §III.A(1) axioms on randomly
+// generated hierarchies: any two parts are disjoint or nested, the root is
+// the whole set, singletons are the leaves.
+func TestHierarchyAxiomsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		paths := randomPaths(rng)
+		h, err := FromPaths(paths)
+		if err != nil {
+			return false
+		}
+		if h.Validate() != nil {
+			return false
+		}
+		// Pairwise: disjoint or nested.
+		for _, a := range h.Nodes {
+			for _, b := range h.Nodes {
+				disjoint := a.Hi <= b.Lo || b.Hi <= a.Lo
+				nested := a.Contains(b) || b.Contains(a)
+				if !disjoint && !nested {
+					return false
+				}
+			}
+		}
+		// Leaves are exactly the singletons, in index order.
+		for i, l := range h.Leaves {
+			if !l.IsLeaf() || l.Lo != i || l.Size() != 1 {
+				return false
+			}
+		}
+		return h.Root.Size() == len(paths)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomPaths generates a random 2- or 3-level platform layout.
+func randomPaths(rng *rand.Rand) []string {
+	var paths []string
+	clusters := 1 + rng.Intn(4)
+	for c := 0; c < clusters; c++ {
+		machines := 1 + rng.Intn(4)
+		for m := 0; m < machines; m++ {
+			cores := 1 + rng.Intn(4)
+			for k := 0; k < cores; k++ {
+				paths = append(paths, pathName(c, m, k))
+			}
+		}
+	}
+	// Shuffle to exercise interleaved input.
+	rng.Shuffle(len(paths), func(i, j int) { paths[i], paths[j] = paths[j], paths[i] })
+	return paths
+}
+
+func pathName(c, m, k int) string {
+	return "c" + string(rune('0'+c)) + "/m" + string(rune('0'+m)) + "/p" + string(rune('0'+k))
+}
+
+func TestStringRendering(t *testing.T) {
+	h := mustBuild(t, []string{"A/a0", "B/b0"})
+	s := h.String()
+	for _, want := range []string{"<root>", "A", "a0", "B", "b0"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,277 @@
+// Package microscopic builds the trace microscopic model of paper §III.A:
+// the raw timestamped events are preliminarily aggregated within
+// microscopic spatiotemporal areas (s, t) — one resource × one regular time
+// slice — producing the tridimensional dataset d_x(s,t) that every
+// aggregation algorithm consumes.
+package microscopic
+
+import (
+	"fmt"
+	"io"
+
+	"ocelotl/internal/hierarchy"
+	"ocelotl/internal/timeslice"
+	"ocelotl/internal/trace"
+)
+
+// Model is the microscopic description of a trace: for each state x,
+// resource s (leaf index in the hierarchy) and slice t, the time d_x(s,t)
+// spent by s in x during t, plus the slice durations d(t).
+type Model struct {
+	H      *hierarchy.Hierarchy
+	Slicer timeslice.Slicer
+	// States maps state index to name (the dimension X).
+	States []string
+	// SliceDur is d(t) for each slice.
+	SliceDur []float64
+	// dx[x] is a row-major [resource][slice] matrix of d_x(s,t).
+	dx [][]float64
+}
+
+// NumStates returns |X|.
+func (m *Model) NumStates() int { return len(m.States) }
+
+// NumResources returns |S|.
+func (m *Model) NumResources() int { return m.H.NumLeaves() }
+
+// NumSlices returns |T|.
+func (m *Model) NumSlices() int { return m.Slicer.N }
+
+// D returns d_x(s,t), the time resource s spent in state x during slice t.
+func (m *Model) D(x, s, t int) float64 { return m.dx[x][s*m.Slicer.N+t] }
+
+// AddD accumulates seconds into d_x(s,t). Exposed for builders and tests.
+func (m *Model) AddD(x, s, t int, seconds float64) { m.dx[x][s*m.Slicer.N+t] += seconds }
+
+// Rho returns ρ_x(s,t) = d_x(s,t)/d(t), the proportion of slice t that
+// resource s spent in state x.
+func (m *Model) Rho(x, s, t int) float64 {
+	d := m.SliceDur[t]
+	if d <= 0 {
+		return 0
+	}
+	return m.D(x, s, t) / d
+}
+
+// StateRow returns the [resource][slice] matrix for state x (row-major,
+// length |S|·|T|). Callers must not mutate it.
+func (m *Model) StateRow(x int) []float64 { return m.dx[x] }
+
+// NewEmpty allocates a zeroed model for the given hierarchy, slicer and
+// state table. Generators and tests fill it with AddD.
+func NewEmpty(h *hierarchy.Hierarchy, sl timeslice.Slicer, states []string) *Model {
+	m := &Model{
+		H:        h,
+		Slicer:   sl,
+		States:   append([]string(nil), states...),
+		SliceDur: sl.Durations(),
+		dx:       make([][]float64, len(states)),
+	}
+	for x := range m.dx {
+		m.dx[x] = make([]float64, h.NumLeaves()*sl.N)
+	}
+	return m
+}
+
+// Options configures model construction.
+type Options struct {
+	// Slices is |T|; the paper uses 30 for all its case studies.
+	Slices int
+	// Start/End override the observation window; when both are zero the
+	// window is taken from the trace.
+	Start, End float64
+}
+
+// DefaultSlices is the microscopic temporal resolution used throughout the
+// paper's evaluation (§V: "The microscopic model is each time composed by
+// 30 timeslices").
+const DefaultSlices = 30
+
+// Build constructs the microscopic model of an in-memory trace. The
+// hierarchy is derived from the trace's resource paths; event time is
+// distributed over the slices each event overlaps.
+func Build(tr *trace.Trace, opt Options) (*Model, error) {
+	h, err := hierarchy.FromPaths(tr.Resources)
+	if err != nil {
+		return nil, err
+	}
+	return BuildWithHierarchy(tr, h, opt)
+}
+
+// BuildWithHierarchy is Build with a caller-provided hierarchy (whose leaf
+// paths must cover the trace's resources).
+func BuildWithHierarchy(tr *trace.Trace, h *hierarchy.Hierarchy, opt Options) (*Model, error) {
+	if opt.Slices <= 0 {
+		opt.Slices = DefaultSlices
+	}
+	start, end := opt.Start, opt.End
+	if start == 0 && end == 0 {
+		start, end = tr.Window()
+	}
+	sl, err := timeslice.New(start, end, opt.Slices)
+	if err != nil {
+		return nil, fmt.Errorf("microscopic: %w", err)
+	}
+	m := NewEmpty(h, sl, tr.States)
+	// Map the trace's resource IDs to hierarchy leaf indices once.
+	r2leaf := make([]int, len(tr.Resources))
+	for i, p := range tr.Resources {
+		li := h.LeafIndex(p)
+		if li < 0 {
+			return nil, fmt.Errorf("microscopic: resource %q not a leaf of the hierarchy", p)
+		}
+		r2leaf[i] = li
+	}
+	for _, e := range tr.Events {
+		if int(e.State) >= len(m.dx) {
+			return nil, fmt.Errorf("microscopic: event references state %d, table has %d", e.State, len(m.dx))
+		}
+		s := r2leaf[e.Resource]
+		x := int(e.State)
+		sl.Overlap(e.Start, e.End, func(t int, sec float64) {
+			m.dx[x][s*sl.N+t] += sec
+		})
+	}
+	return m, nil
+}
+
+// EventSource is a streaming supplier of events, implemented by the readers
+// in package traceio. Header data (resources, states, window) must be
+// available before the first Next call.
+type EventSource interface {
+	// Resources returns the resource paths (index = ResourceID).
+	Resources() []string
+	// States returns the state names (index = StateID).
+	States() []string
+	// Window returns the observation window.
+	Window() (start, end float64)
+	// Next fills ev with the next event; it returns io.EOF at the end.
+	Next(ev *trace.Event) error
+}
+
+// BuildStream constructs the model from a streaming source without
+// materializing the events, so Table II-scale traces (hundreds of millions
+// of events) fit in O(|X|·|S|·|T|) memory.
+func BuildStream(src EventSource, opt Options) (*Model, error) {
+	h, err := hierarchy.FromPaths(src.Resources())
+	if err != nil {
+		return nil, err
+	}
+	if opt.Slices <= 0 {
+		opt.Slices = DefaultSlices
+	}
+	start, end := opt.Start, opt.End
+	if start == 0 && end == 0 {
+		start, end = src.Window()
+	}
+	sl, err := timeslice.New(start, end, opt.Slices)
+	if err != nil {
+		return nil, fmt.Errorf("microscopic: %w", err)
+	}
+	m := NewEmpty(h, sl, src.States())
+	r2leaf := make([]int, len(src.Resources()))
+	for i, p := range src.Resources() {
+		li := h.LeafIndex(p)
+		if li < 0 {
+			return nil, fmt.Errorf("microscopic: resource %q not a leaf of the hierarchy", p)
+		}
+		r2leaf[i] = li
+	}
+	var ev trace.Event
+	for {
+		if err := src.Next(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("microscopic: reading events: %w", err)
+		}
+		if int(ev.State) >= len(m.dx) || ev.State < 0 {
+			return nil, fmt.Errorf("microscopic: event references state %d, table has %d", ev.State, len(m.dx))
+		}
+		if int(ev.Resource) >= len(r2leaf) || ev.Resource < 0 {
+			return nil, fmt.Errorf("microscopic: event references resource %d, table has %d", ev.Resource, len(r2leaf))
+		}
+		s := r2leaf[ev.Resource]
+		x := int(ev.State)
+		sl.Overlap(ev.Start, ev.End, func(t int, sec float64) {
+			m.dx[x][s*sl.N+t] += sec
+		})
+	}
+	return m, nil
+}
+
+// Validate performs sanity checks: no negative durations, and (unless
+// resources multiplex states, which MPI state traces do not) the per-area
+// total Σ_x d_x(s,t) should not exceed d(t) by more than eps.
+func (m *Model) Validate(eps float64) error {
+	T := m.Slicer.N
+	for s := 0; s < m.NumResources(); s++ {
+		for t := 0; t < T; t++ {
+			var tot float64
+			for x := range m.dx {
+				d := m.dx[x][s*T+t]
+				if d < 0 {
+					return fmt.Errorf("microscopic: negative d_%d(%d,%d) = %g", x, s, t, d)
+				}
+				tot += d
+			}
+			if tot > m.SliceDur[t]+eps {
+				return fmt.Errorf("microscopic: overfull area (s=%d,t=%d): Σd=%g > d(t)=%g", s, t, tot, m.SliceDur[t])
+			}
+		}
+	}
+	return nil
+}
+
+// TotalTime returns Σ_x Σ_s Σ_t d_x(s,t), the total recorded busy time.
+func (m *Model) TotalTime() float64 {
+	var tot float64
+	for _, row := range m.dx {
+		for _, v := range row {
+			tot += v
+		}
+	}
+	return tot
+}
+
+// SliceProfile returns, for slice t, the per-state mean proportion over all
+// resources: ρ_x(S, {t}) of Eq. 1 with S_k = S. Used by the temporal-only
+// baseline and by renderers.
+func (m *Model) SliceProfile(t int) []float64 {
+	out := make([]float64, len(m.dx))
+	n := m.NumResources()
+	T := m.Slicer.N
+	for x := range m.dx {
+		var sum float64
+		for s := 0; s < n; s++ {
+			sum += m.dx[x][s*T+t]
+		}
+		if d := m.SliceDur[t]; d > 0 {
+			out[x] = sum / (float64(n) * d)
+		}
+	}
+	return out
+}
+
+// ResourceProfile returns, for resource s, the per-state time-weighted
+// proportion over the whole window: ρ_x({s}, T). Used by the spatial-only
+// baseline.
+func (m *Model) ResourceProfile(s int) []float64 {
+	out := make([]float64, len(m.dx))
+	T := m.Slicer.N
+	var dur float64
+	for _, d := range m.SliceDur {
+		dur += d
+	}
+	if dur <= 0 {
+		return out
+	}
+	for x := range m.dx {
+		var sum float64
+		for t := 0; t < T; t++ {
+			sum += m.dx[x][s*T+t]
+		}
+		out[x] = sum / dur
+	}
+	return out
+}

@@ -1,0 +1,155 @@
+package mpisim
+
+import (
+	"strconv"
+
+	"ocelotl/internal/trace"
+)
+
+// Artificial builds the paper's Fig. 3 synthetic trace: 12 resources in
+// three clusters S_A (s1–s4), S_B (s5–s8), S_C (s9–s12), 20 microscopic
+// time periods of 1 s, and two states whose proportions sum to 1 in every
+// microscopic area. The spatiotemporal patterns follow §III.D's
+// description of the optimal partition (Fig. 3.d):
+//
+//   - T(1,2): homogeneous in time, heterogeneous in space (each resource
+//     keeps its own level for two slices);
+//   - T(3,5): homogeneous in time, heterogeneous in space *except* for
+//     cluster S_A, whose resources share one level;
+//   - T(6,7): homogeneous in time and in space at the cluster level
+//     (one level per cluster);
+//   - T(8): fully homogeneous (all resources at one level);
+//   - T(9,20): S_A homogeneous in space but heterogeneous in time
+//     (level changes every three slices); S_B homogeneous in both;
+//     S_C mixes finer imbrications (two sub-blocks with their own
+//     temporal splits, one alternating resource, one constant).
+//
+// State 0 plays the role of the figure's square intensity ρ₁; state 1 is
+// the complement ρ₂ = 1 − ρ₁.
+func Artificial() *trace.Trace {
+	const (
+		nRes = 12
+		nT   = 20
+	)
+	paths := []string{
+		"SA/s1", "SA/s2", "SA/s3", "SA/s4",
+		"SB/s5", "SB/s6", "SB/s7", "SB/s8",
+		"SC/s9", "SC/s10", "SC/s11", "SC/s12",
+	}
+	tr := trace.New(paths, []string{"busy", "idle"})
+	tr.Start, tr.End = 0, nT
+
+	rho := func(s, t int) float64 {
+		cluster := s / 4 // 0 = SA, 1 = SB, 2 = SC
+		switch {
+		case t < 2: // T(1,2): per-resource levels
+			return float64(s+1) / 13
+		case t < 5: // T(3,5): SA merged at 0.2, others per-resource
+			if cluster == 0 {
+				return 0.2
+			}
+			return float64(s+1) / 13
+		case t < 7: // T(6,7): one level per cluster
+			return []float64{0.2, 0.5, 0.8}[cluster]
+		case t < 8: // T(8): fully homogeneous
+			return 0.5
+		default: // T(9,20)
+			switch cluster {
+			case 0: // SA: spatial homogeneity, temporal phases of 3
+				phase := (t - 8) / 3
+				return []float64{0.15, 0.85, 0.35, 0.65}[phase%4]
+			case 1: // SB: constant
+				return 0.4
+			default: // SC: imbricated patterns
+				switch s {
+				case 8, 9: // s9, s10: one temporal split at t=14
+					if t < 14 {
+						return 0.3
+					}
+					return 0.7
+				case 10: // s11: alternating every slice
+					if (t-8)%2 == 0 {
+						return 0.9
+					}
+					return 0.1
+				default: // s12: constant
+					return 0.55
+				}
+			}
+		}
+	}
+	for s := 0; s < nRes; s++ {
+		for t := 0; t < nT; t++ {
+			v := rho(s, t)
+			lo, hi := float64(t), float64(t+1)
+			tr.Add(trace.ResourceID(s), 0, lo, lo+v)
+			tr.Add(trace.ResourceID(s), 1, lo+v, hi)
+		}
+	}
+	return tr
+}
+
+// ArtificialSized builds a synthetic trace with the Fig. 3 block structure
+// generalized to nRes resources (split into three equal clusters) and nT
+// slices — used by the scaling benchmarks where Fig. 3's 12×20 is too
+// small. Resources keep the same four-band temporal pattern stretched to
+// the requested width.
+func ArtificialSized(nRes, nT int) *trace.Trace {
+	if nRes < 3 {
+		nRes = 3
+	}
+	if nT < 4 {
+		nT = 4
+	}
+	paths := make([]string, nRes)
+	clusterNames := []string{"SA", "SB", "SC"}
+	per := (nRes + 2) / 3
+	for s := 0; s < nRes; s++ {
+		c := s / per
+		if c > 2 {
+			c = 2
+		}
+		paths[s] = clusterNames[c] + "/s" + strconv.Itoa(s+1)
+	}
+	tr := trace.New(paths, []string{"busy", "idle"})
+	tr.Start, tr.End = 0, float64(nT)
+	for s := 0; s < nRes; s++ {
+		c := s / per
+		if c > 2 {
+			c = 2
+		}
+		for t := 0; t < nT; t++ {
+			frac := float64(t) / float64(nT)
+			var v float64
+			switch {
+			case frac < 0.1: // heterogeneous band
+				v = float64(s%13+1) / 14
+			case frac < 0.4: // cluster bands
+				v = []float64{0.2, 0.5, 0.8}[c]
+			case frac < 0.5: // homogeneous band
+				v = 0.5
+			default: // cluster-specific temporal phases
+				switch c {
+				case 0:
+					phase := int(4*(frac-0.5)/0.5) % 4
+					v = []float64{0.15, 0.85, 0.35, 0.65}[phase]
+				case 1:
+					v = 0.4
+				default:
+					if s%2 == 0 {
+						v = 0.3
+						if frac > 0.75 {
+							v = 0.7
+						}
+					} else {
+						v = 0.55
+					}
+				}
+			}
+			lo := float64(t)
+			tr.Add(trace.ResourceID(s), 0, lo, lo+v)
+			tr.Add(trace.ResourceID(s), 1, lo+v, lo+1)
+		}
+	}
+	return tr
+}

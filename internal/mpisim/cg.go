@@ -1,0 +1,139 @@
+package mpisim
+
+import (
+	"math"
+
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/trace"
+)
+
+// simulateCG reproduces the structure the paper reports for NAS-CG
+// (§V.A, Figure 1):
+//
+//   - an initialization phase of MPI_Init covering the first ~17% of the
+//     run (0–1.6 s of 9.5 s for case A), homogeneous across all ranks;
+//   - two short transition periods into computation (1.6–1.9 s and
+//     1.9–2.2 s), still spatially homogeneous;
+//   - a computation phase (2.2–9.5 s) with regular per-rank behaviour:
+//     on every machine one process is dedicated to MPI_Wait while the
+//     others mainly run MPI_Send interleaved with computation — CG's
+//     irregular long-distance exchanges;
+//   - a transient network-contention perturbation around t ≈ 3 s
+//     affecting a subset of the ranks (26 of 64 in the paper's case A),
+//     during which MPI_Send and MPI_Wait last much longer than usual.
+func simulateCG(sc grid5000.Scenario, cfg Config, emit func(trace.Event) error) ([]Perturbation, error) {
+	R := sc.PaperRuntime
+	procs := sc.Processes
+	initEnd := 0.17 * R
+	trans1End := 0.20 * R
+	trans2End := 0.23 * R
+	// Perturbation: the paper observes it around 3 s of 9.5 s ≈ 32% of
+	// the run, lasting roughly half a second.
+	pertStart := 0.32 * R
+	pertEnd := pertStart + 0.055*R
+
+	// Event budget: almost all events belong to the computation phase.
+	// One rank emits 1 init event, ~8 transition events, and
+	// cycles of 5 events during computation.
+	target := cfg.targetEvents(sc)
+	perRank := target/procs - 9
+	if perRank < 15 {
+		perRank = 15
+	}
+	const eventsPerCycle = 5
+	cycles := perRank / eventsPerCycle
+	compSpan := R - trans2End
+	cycleDur := compSpan / float64(cycles)
+
+	// Choose the perturbed ranks deterministically: the paper reports 26
+	// of 64 processes affected (≈40%), spread across machines because
+	// the shared medium is the cluster network.
+	var pertRanks []int
+	if !cfg.DisablePerturbations {
+		nPert := int(math.Round(0.4 * float64(procs)))
+		if nPert < 1 {
+			nPert = 1
+		}
+		pick := rankRNG(cfg.Seed, -1)
+		perm := pick.Perm(procs)
+		pertRanks = append(pertRanks, perm[:nPert]...)
+	}
+	pertSet := make(map[int]bool, len(pertRanks))
+	for _, r := range pertRanks {
+		pertSet[r] = true
+	}
+
+	for rank := 0; rank < procs; rank++ {
+		rng := rankRNG(cfg.Seed, rank)
+		cl, _, err := sc.Platform.ClusterOf(rank)
+		if err != nil {
+			return nil, err
+		}
+		rid := trace.ResourceID(rank)
+		// Initialization: one long MPI_Init state; tiny per-rank skew at
+		// the end (processes leave MPI_Init almost together).
+		skew := 0.002 * R * rng.Float64()
+		if err := emit(trace.Event{Resource: rid, State: StateInit, Start: 0, End: initEnd + skew}); err != nil {
+			return nil, err
+		}
+		// Transitions: homogeneous alternation of Allreduce/compute then
+		// Recv/compute — the paper shows two distinct spatially-merged
+		// bands here.
+		if _, err := emitSegment(emit, rng, rid, initEnd+skew, trans1End, (trans1End-initEnd)/2, 0.1,
+			[]mixEntry{{StateAllreduce, 0.6}, {StateCompute, 0.4}}); err != nil {
+			return nil, err
+		}
+		if _, err := emitSegment(emit, rng, rid, trans1End, trans2End, (trans2End-trans1End)/2, 0.1,
+			[]mixEntry{{StateRecv, 0.5}, {StateCompute, 0.5}}); err != nil {
+			return nil, err
+		}
+		// Computation phase. One process per machine is the wait-heavy
+		// one (the paper: "Each 8-core machine has a process dedicated
+		// to MPI_wait while the others are mainly running MPI_send").
+		waiter := rank%cl.Cores == 0
+		lat := cl.Network.LatencyFactor()
+		var regular, perturbed []mixEntry
+		if waiter {
+			regular = []mixEntry{
+				{StateWait, 0.55 * lat}, {StateCompute, 0.30},
+				{StateSend, 0.10}, {StateRecv, 0.05},
+			}
+		} else {
+			regular = []mixEntry{
+				{StateSend, 0.40 * lat}, {StateCompute, 0.40},
+				{StateWait, 0.12}, {StateRecv, 0.08},
+			}
+		}
+		// Under contention both send and wait stretch drastically.
+		perturbed = []mixEntry{
+			{StateSend, 0.47 * lat}, {StateWait, 0.48 * lat}, {StateCompute, 0.05},
+		}
+		segs := []struct {
+			from, to float64
+			mix      []mixEntry
+			jitter   float64
+		}{
+			{trans2End, pertStart, regular, 0.25},
+			{pertStart, pertEnd, regular, 0.25},
+			{pertEnd, R, regular, 0.25},
+		}
+		if pertSet[rank] {
+			segs[1].mix = perturbed
+			segs[1].jitter = 0.45
+		}
+		for _, sg := range segs {
+			if _, err := emitSegment(emit, rng, rid, sg.from, sg.to, cycleDur, sg.jitter, sg.mix); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if cfg.DisablePerturbations {
+		return nil, nil
+	}
+	return []Perturbation{{
+		Kind:  "network-contention",
+		Start: pertStart,
+		End:   pertEnd,
+		Ranks: pertRanks,
+	}}, nil
+}

@@ -1,0 +1,167 @@
+package mpisim
+
+import (
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/trace"
+)
+
+// simulateLU reproduces the structure the paper reports for NAS-LU
+// (§V.B, Figure 4):
+//
+//   - a long MPI_Init phase (0–17.5 s of 70 s for case C, i.e. the first
+//     quarter of the run), homogeneous across ranks;
+//   - a short spatially-heterogeneous MPI_Allreduce transition
+//     (17.5 s–20 s) — ranks enter the collective at scattered times;
+//   - a computation phase (from ≈20 s) running the SSOR wavefront:
+//     compute / MPI_Send / MPI_Recv / MPI_Wait cycles. Cluster behaviour
+//     differs (this is the experiment's point):
+//     – Graphene (Infiniband): temporally and spatially homogeneous;
+//     – Graphite (10 G Ethernet, 16 cores/node): frequent long MPI_Wait
+//     and MPI_Send with irregular per-process patterns — spatially
+//     separated by the aggregation, heterogeneous over time;
+//     – Griffon (Infiniband, but switches shared with non-Grid'5000
+//     machines): regular except for a strong rupture at 34.5 s where
+//     two machines block in MPI_Wait and two in MPI_Send.
+func simulateLU(sc grid5000.Scenario, cfg Config, emit func(trace.Event) error) ([]Perturbation, error) {
+	R := sc.PaperRuntime
+	procs := sc.Processes
+	initEnd := 0.25 * R
+	allreduceEnd := 0.286 * R
+	// Griffon rupture: 34.5 s of 70 s ≈ 49.3% of the run, ~4% long.
+	ruptStart := 0.493 * R
+	ruptEnd := ruptStart + 0.04*R
+
+	target := cfg.targetEvents(sc)
+	perRank := target/procs - 6
+	if perRank < 15 {
+		perRank = 15
+	}
+	const eventsPerCycle = 5
+	cycles := perRank / eventsPerCycle
+	compSpan := R - allreduceEnd
+	cycleDur := compSpan / float64(cycles)
+
+	// Identify the perturbed Griffon machines: two blocked in MPI_Wait,
+	// two in MPI_Send (paper §V.B). We take the first four machines of
+	// the first Ethernet-free cluster named "griffon" when present;
+	// otherwise (case D has no griffon) no rupture is injected.
+	var waitBlocked, sendBlocked []int
+	var slowRanks []int // all ranks on Ethernet clusters (graphite)
+	for rank := 0; rank < procs; rank++ {
+		cl, machine, err := sc.Platform.ClusterOf(rank)
+		if err != nil {
+			return nil, err
+		}
+		if cl.Name == "griffon" && !cfg.DisablePerturbations {
+			switch machine {
+			case 0, 1:
+				waitBlocked = append(waitBlocked, rank)
+			case 2, 3:
+				sendBlocked = append(sendBlocked, rank)
+			}
+		}
+		if cl.Network != grid5000.Infiniband20G {
+			slowRanks = append(slowRanks, rank)
+		}
+	}
+	waitSet := make(map[int]bool, len(waitBlocked))
+	for _, r := range waitBlocked {
+		waitSet[r] = true
+	}
+	sendSet := make(map[int]bool, len(sendBlocked))
+	for _, r := range sendBlocked {
+		sendSet[r] = true
+	}
+
+	for rank := 0; rank < procs; rank++ {
+		rng := rankRNG(cfg.Seed, rank)
+		cl, _, err := sc.Platform.ClusterOf(rank)
+		if err != nil {
+			return nil, err
+		}
+		rid := trace.ResourceID(rank)
+		skew := 0.002 * R * rng.Float64()
+		if err := emit(trace.Event{Resource: rid, State: StateInit, Start: 0, End: initEnd + skew}); err != nil {
+			return nil, err
+		}
+		// Allreduce transition: scattered entry times make this phase
+		// spatially heterogeneous (paper: "a spatially-heterogeneous
+		// phase containing MPI_Allreduce function calls").
+		enter := initEnd + skew + rng.Float64()*0.4*(allreduceEnd-initEnd)
+		if err := emit(trace.Event{Resource: rid, State: StateCompute, Start: initEnd + skew, End: enter}); err != nil {
+			return nil, err
+		}
+		if err := emit(trace.Event{Resource: rid, State: StateAllreduce, Start: enter, End: allreduceEnd}); err != nil {
+			return nil, err
+		}
+		// Computation: the SSOR wavefront cycle. Cluster-specific mixes.
+		ethernet := cl.Network != grid5000.Infiniband20G
+		var mix []mixEntry
+		jitter := 0.2
+		switch {
+		case ethernet:
+			// Graphite: communication dominated, and *per-rank*
+			// distinct (spatial heterogeneity): each process gets its
+			// own persistent wait/send balance.
+			bias := rng.Float64()
+			mix = []mixEntry{
+				{StateWait, 0.25 + 0.4*bias},
+				{StateSend, 0.55 - 0.4*bias},
+				{StateCompute, 0.15},
+				{StateRecv, 0.05},
+			}
+			jitter = 0.6 // temporal irregularity
+		default:
+			mix = []mixEntry{
+				{StateCompute, 0.55},
+				{StateSend, 0.18},
+				{StateRecv, 0.14},
+				{StateWait, 0.13},
+			}
+		}
+		if _, err := emitSegment(emit, rng, rid, allreduceEnd, ruptStart, cycleDur, jitter, mix); err != nil {
+			return nil, err
+		}
+		// The rupture window.
+		switch {
+		case waitSet[rank]:
+			// Blocked twice in MPI_Wait (paper: "two machines are
+			// blocked twice in a MPI_wait").
+			mid := (ruptStart + ruptEnd) / 2
+			gap := 0.1 * (ruptEnd - ruptStart)
+			if err := emit(trace.Event{Resource: rid, State: StateWait, Start: ruptStart, End: mid - gap/2}); err != nil {
+				return nil, err
+			}
+			if err := emit(trace.Event{Resource: rid, State: StateCompute, Start: mid - gap/2, End: mid + gap/2}); err != nil {
+				return nil, err
+			}
+			if err := emit(trace.Event{Resource: rid, State: StateWait, Start: mid + gap/2, End: ruptEnd}); err != nil {
+				return nil, err
+			}
+		case sendSet[rank]:
+			if err := emit(trace.Event{Resource: rid, State: StateSend, Start: ruptStart, End: ruptEnd}); err != nil {
+				return nil, err
+			}
+		default:
+			if _, err := emitSegment(emit, rng, rid, ruptStart, ruptEnd, cycleDur, jitter, mix); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := emitSegment(emit, rng, rid, ruptEnd, R, cycleDur, jitter, mix); err != nil {
+			return nil, err
+		}
+	}
+	var perts []Perturbation
+	if len(slowRanks) > 0 {
+		perts = append(perts, Perturbation{
+			Kind: "slow-interconnect", Start: allreduceEnd, End: R, Ranks: slowRanks,
+		})
+	}
+	if len(waitBlocked)+len(sendBlocked) > 0 {
+		perts = append(perts, Perturbation{
+			Kind: "switch-sharing", Start: ruptStart, End: ruptEnd,
+			Ranks: append(append([]int(nil), waitBlocked...), sendBlocked...),
+		})
+	}
+	return perts, nil
+}

@@ -1,0 +1,192 @@
+// Package mpisim is a behavioural simulator of the paper's traced
+// workloads: the NAS Parallel Benchmarks CG and LU running on Grid'5000
+// (§V). It substitutes for the Score-P-instrumented executions the authors
+// traced — the evaluation never inspects numerical results, only the
+// spatiotemporal structure of MPI states, which is what this package
+// reproduces: initialization/transition/computation phases, per-cluster
+// communication regimes driven by the interconnect class, and seeded
+// injection of the anomalies the paper detects (the case-A transient
+// network contention around 3 s, the case-C Graphite heterogeneity and
+// Griffon 34.5 s rupture).
+//
+// Generators are deterministic given a seed, stream events through a
+// callback so Table II-scale traces never need to fit in memory, and
+// calibrate their event counts against the paper's Table II numbers via a
+// scale factor.
+package mpisim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/trace"
+)
+
+// State indices shared by all generated traces. The names mirror the MPI
+// functions the paper traces with Score-P.
+const (
+	StateInit      = 0 // MPI_Init
+	StateSend      = 1 // MPI_Send
+	StateRecv      = 2 // MPI_Recv
+	StateWait      = 3 // MPI_Wait
+	StateAllreduce = 4 // MPI_Allreduce
+	StateCompute   = 5 // application computation between MPI calls
+)
+
+// StateNames is the state table of every simulated trace, indexed by the
+// State* constants.
+var StateNames = []string{"MPI_Init", "MPI_Send", "MPI_Recv", "MPI_Wait", "MPI_Allreduce", "compute"}
+
+// Config controls a simulation run.
+type Config struct {
+	// Seed makes the run reproducible. The same seed always yields the
+	// same trace.
+	Seed int64
+	// Scale multiplies the paper's Table II event count to set the
+	// generated event budget (1.0 ≈ the paper's trace; 0.01 is a quick
+	// laptop run). Values ≤ 0 default to 0.01.
+	Scale float64
+	// EventTarget, when > 0, overrides Scale with an absolute event
+	// budget.
+	EventTarget int
+	// DisablePerturbations turns off anomaly injection (for baselines
+	// and A/B tests).
+	DisablePerturbations bool
+}
+
+// targetEvents resolves the event budget for a scenario.
+func (c Config) targetEvents(sc grid5000.Scenario) int {
+	if c.EventTarget > 0 {
+		return c.EventTarget
+	}
+	scale := c.Scale
+	if scale <= 0 {
+		scale = 0.01
+	}
+	n := int(float64(sc.PaperEvents) * scale)
+	if min := 8 * sc.Processes; n < min {
+		n = min
+	}
+	return n
+}
+
+// Perturbation is the ground truth of one injected anomaly, so examples
+// and tests can check that the aggregation actually finds it.
+type Perturbation struct {
+	// Kind labels the anomaly ("network-contention", "switch-sharing",
+	// "slow-interconnect").
+	Kind string
+	// Start and End delimit the anomalous window in trace time
+	// (End = trace end for persistent conditions).
+	Start, End float64
+	// Ranks lists the affected MPI ranks.
+	Ranks []int
+}
+
+// Result is a completed simulation: the trace, its scenario, and the
+// injected anomalies.
+type Result struct {
+	Trace         *trace.Trace
+	Scenario      grid5000.Scenario
+	Perturbations []Perturbation
+}
+
+// Generate simulates the scenario in memory. For Table II-scale budgets
+// prefer GenerateStream.
+func Generate(sc grid5000.Scenario, cfg Config) (*Result, error) {
+	tr := trace.New(sc.Platform.ResourcePaths(sc.Processes), StateNames)
+	tr.Start, tr.End = 0, sc.PaperRuntime
+	perts, err := GenerateStream(sc, cfg, func(ev trace.Event) error {
+		tr.AddEvent(ev)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Trace: tr, Scenario: sc, Perturbations: perts}, nil
+}
+
+// GenerateStream simulates the scenario, passing every event to emit in
+// per-rank time order (events of different ranks are interleaved rank by
+// rank, not globally sorted). It returns the injected perturbations.
+func GenerateStream(sc grid5000.Scenario, cfg Config, emit func(trace.Event) error) ([]Perturbation, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	switch sc.Application {
+	case "CG":
+		return simulateCG(sc, cfg, emit)
+	case "LU":
+		return simulateLU(sc, cfg, emit)
+	default:
+		return nil, fmt.Errorf("mpisim: unknown application %q", sc.Application)
+	}
+}
+
+// GenerateCase is the one-call helper for a Table II case.
+func GenerateCase(c grid5000.Case, cfg Config) (*Result, error) {
+	sc, err := grid5000.Scenarios(c)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(sc, cfg)
+}
+
+// segment emits alternating states filling [from, to) on one rank:
+// the pattern cycles through the given (state, share) mix, with jittered
+// durations, until the segment is exhausted. mix shares need not sum to 1;
+// they are normalized. baseDur is the nominal duration of one full cycle.
+type mixEntry struct {
+	state trace.StateID
+	share float64
+}
+
+// emitSegment fills [from, to) for rank with cycles of the mix. jitter is
+// the relative amplitude of duration noise (0 = deterministic). Returns
+// the number of events emitted.
+func emitSegment(emit func(trace.Event) error, rng *rand.Rand, rank trace.ResourceID,
+	from, to, cycleDur, jitter float64, mix []mixEntry) (int, error) {
+	if to <= from || cycleDur <= 0 {
+		return 0, nil
+	}
+	var total float64
+	for _, e := range mix {
+		total += e.share
+	}
+	if total <= 0 {
+		return 0, nil
+	}
+	n := 0
+	t := from
+	for t < to {
+		for _, e := range mix {
+			if t >= to {
+				break
+			}
+			d := cycleDur * (e.share / total)
+			if jitter > 0 {
+				d *= 1 + jitter*(2*rng.Float64()-1)
+			}
+			if d <= 0 {
+				continue
+			}
+			end := t + d
+			if end > to {
+				end = to
+			}
+			if err := emit(trace.Event{Resource: rank, State: e.state, Start: t, End: end}); err != nil {
+				return n, err
+			}
+			n++
+			t = end
+		}
+	}
+	return n, nil
+}
+
+// rankRNG derives a per-rank deterministic RNG so streaming order and
+// parallel generation cannot change the trace.
+func rankRNG(seed int64, rank int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1000003 + int64(rank)*7919 + 12345))
+}

@@ -1,0 +1,69 @@
+// Package product implements the "spatial-and-temporal" baseline of paper
+// §III.D (Fig. 3.c): the Cartesian product of the two unidimensional
+// optimal partitions. The spatial algorithm runs on the time-integrated
+// trace S×{T}, the temporal algorithm on the space-averaged trace {S}×T,
+// and the spatiotemporal partition is P(S)×P(T).
+//
+// The paper shows this baseline is doubly limited: each 1-D algorithm
+// ignores the other dimension, and H(S)×I(T) products cannot express many
+// spatiotemporal patterns — which is exactly what the core algorithm fixes.
+// This package exists to reproduce that comparison.
+package product
+
+import (
+	"ocelotl/internal/core"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/partition"
+	"ocelotl/internal/spatial"
+	"ocelotl/internal/temporal"
+)
+
+// Aggregator combines the two 1-D aggregators over one model.
+type Aggregator struct {
+	Model    *microscopic.Model
+	Spatial  *spatial.Aggregator
+	Temporal *temporal.Aggregator
+}
+
+// New builds both unidimensional aggregators.
+func New(m *microscopic.Model) *Aggregator {
+	return &Aggregator{Model: m, Spatial: spatial.New(m), Temporal: temporal.New(m)}
+}
+
+// Run computes P(S) and P(T) independently at ratio p and returns their
+// Cartesian product as a spatiotemporal partition. The partition's Gain,
+// Loss and PIC fields are left zero; use core.Aggregator.EvaluatePartition
+// (or Evaluate below) to score it against the full microscopic model —
+// scoring is deliberately separated because the product's own 1-D
+// objectives are not comparable to the 2-D criterion.
+func (a *Aggregator) Run(p float64) (*partition.Partition, error) {
+	nodes, err := a.Spatial.Nodes(p)
+	if err != nil {
+		return nil, err
+	}
+	intervals, err := a.Temporal.Intervals(p)
+	if err != nil {
+		return nil, err
+	}
+	pt := &partition.Partition{P: p}
+	for _, n := range nodes {
+		for _, iv := range intervals {
+			pt.Areas = append(pt.Areas, partition.Area{Node: n, I: iv[0], J: iv[1]})
+		}
+	}
+	pt.Sort()
+	return pt, nil
+}
+
+// Evaluate runs the product baseline at p and scores the resulting
+// partition with the full microscopic criterion via the provided core
+// aggregator (which must wrap the same model). It returns the scored
+// partition.
+func (a *Aggregator) Evaluate(ca *core.Aggregator, p float64) (*partition.Partition, error) {
+	pt, err := a.Run(p)
+	if err != nil {
+		return nil, err
+	}
+	pt.Gain, pt.Loss, pt.PIC = ca.EvaluatePartition(pt, p)
+	return pt, nil
+}

@@ -1,0 +1,309 @@
+// Package render implements the paper's visualization of the aggregation
+// output (§IV):
+//
+//   - each aggregate is a rectangle spanning its node's resources
+//     (vertically) and its time interval (horizontally);
+//   - the fill color encodes the state *mode* (argmax_x ρ_x) and the fill
+//     opacity encodes the mode's share α = ρ_max/Σρ ∈ [1/|X|, 1];
+//   - *visual aggregation* preserves the entity budget (criterion G1):
+//     aggregates whose on-screen height falls below a pixel threshold are
+//     replaced by their parent, marked with a diagonal line when the
+//     underlying resources share the same temporal partitioning and with a
+//     cross otherwise (criterion G4: visual aggregates are distinguishable
+//     from data aggregates);
+//   - a Gantt renderer (gantt.go) reproduces the paper's Fig. 2 clutter
+//     argument by accounting drawable versus sub-pixel objects.
+//
+// Rendering is split in two stages: BuildScene computes a
+// resolution-independent Scene (rectangles, colors, marks, counts), and
+// the SVG/PNG/ASCII emitters in output.go serialize it. The split keeps
+// the §IV logic testable without pixel comparisons.
+package render
+
+import (
+	"fmt"
+	"image/color"
+	"sort"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/partition"
+)
+
+// Mark distinguishes data aggregates from the two kinds of visual
+// aggregates (§IV, Fig. 3.f).
+type Mark int
+
+const (
+	// MarkNone is a plain data aggregate.
+	MarkNone Mark = iota
+	// MarkDiagonal flags a visual aggregate whose underlying resources
+	// share the same temporal data partitioning.
+	MarkDiagonal
+	// MarkCross flags a visual aggregate hiding heterogeneous temporal
+	// partitionings.
+	MarkCross
+)
+
+// String names the mark.
+func (m Mark) String() string {
+	switch m {
+	case MarkNone:
+		return "none"
+	case MarkDiagonal:
+		return "diagonal"
+	case MarkCross:
+		return "cross"
+	default:
+		return fmt.Sprintf("mark(%d)", int(m))
+	}
+}
+
+// Rect is one drawn rectangle in scene coordinates (pixels, origin at the
+// top-left, y growing downward).
+type Rect struct {
+	X, Y, W, H float64
+	// Color is the mode state's color; Alpha the mode share used as fill
+	// opacity. A Mode of -1 (idle area) renders as background.
+	Color color.RGBA
+	Alpha float64
+	Mode  int
+	Mark  Mark
+	// Rho holds the aggregate's full per-state proportions (Eq. 1) — the
+	// §VI "proportion of all the active states" retrieval, surfaced as
+	// SVG tooltips.
+	Rho []float64
+	// Area is the underlying aggregate (for visual aggregates, the
+	// synthesized parent extent).
+	Area partition.Area
+	// Visual is true when the rect replaces sub-threshold aggregates.
+	Visual bool
+}
+
+// LegendEntry maps a state name to its color.
+type LegendEntry struct {
+	State string
+	Color color.RGBA
+}
+
+// Scene is a resolution-independent description of one §IV view.
+type Scene struct {
+	W, H   int
+	Rects  []Rect
+	Legend []LegendEntry
+	// DataAggregates and VisualAggregates reproduce the Fig. 3.f
+	// accounting ("21 data aggregates and 7 visual aggregates").
+	DataAggregates   int
+	VisualAggregates int
+	// HiddenAggregates counts the data aggregates that were folded into
+	// visual ones.
+	HiddenAggregates int
+	// TimeStart/TimeEnd label the horizontal axis.
+	TimeStart, TimeEnd float64
+	// Tooltips enables per-rect <title> emission in SVG output.
+	Tooltips bool
+}
+
+// Options tunes scene construction.
+type Options struct {
+	// Width and Height of the drawing area in pixels (defaults 1000×600).
+	Width, Height int
+	// MinHeight is the visual-aggregation threshold in pixels: data
+	// aggregates drawn shorter than this are replaced by their parent
+	// (default 2 px; ≤ 0 disables visual aggregation).
+	MinHeight float64
+	// Palette overrides the default state colors (indexed by state).
+	Palette []color.RGBA
+	// Tooltips adds a <title> element per SVG rectangle listing every
+	// state's aggregated proportion — the paper's §VI data-retrieval
+	// interaction.
+	Tooltips bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 1000
+	}
+	if o.Height <= 0 {
+		o.Height = 600
+	}
+	return o
+}
+
+// DefaultPalette assigns the paper's Fig. 1 colors to the common MPI
+// states by name (MPI_Init yellow, MPI_Send green, MPI_Wait red) and a
+// fixed categorical palette to everything else.
+func DefaultPalette(states []string) []color.RGBA {
+	fixed := map[string]color.RGBA{
+		"MPI_Init":      {0xE6, 0xC8, 0x29, 0xFF}, // yellow
+		"MPI_Send":      {0x3C, 0xA0, 0x3C, 0xFF}, // green
+		"MPI_Recv":      {0x3C, 0x64, 0xC8, 0xFF}, // blue
+		"MPI_Wait":      {0xC8, 0x32, 0x32, 0xFF}, // red
+		"MPI_Allreduce": {0xE6, 0x7E, 0x22, 0xFF}, // orange
+		"compute":       {0x9B, 0x9B, 0x9B, 0xFF}, // gray
+	}
+	categorical := []color.RGBA{
+		{0x1F, 0x77, 0xB4, 0xFF}, {0xFF, 0x7F, 0x0E, 0xFF}, {0x2C, 0xA0, 0x2C, 0xFF},
+		{0xD6, 0x27, 0x28, 0xFF}, {0x94, 0x67, 0xBD, 0xFF}, {0x8C, 0x56, 0x4B, 0xFF},
+		{0xE3, 0x77, 0xC2, 0xFF}, {0x7F, 0x7F, 0x7F, 0xFF}, {0xBC, 0xBD, 0x22, 0xFF},
+		{0x17, 0xBE, 0xCF, 0xFF},
+	}
+	out := make([]color.RGBA, len(states))
+	k := 0
+	for i, s := range states {
+		if c, ok := fixed[s]; ok {
+			out[i] = c
+		} else {
+			out[i] = categorical[k%len(categorical)]
+			k++
+		}
+	}
+	return out
+}
+
+// BuildScene lays out the partition computed by agg at the given pixel
+// budget, applying §IV's mode/α encoding and visual aggregation.
+func BuildScene(agg *core.Aggregator, pt *partition.Partition, opt Options) *Scene {
+	opt = opt.withDefaults()
+	m := agg.Model
+	nRes, nT := m.NumResources(), m.NumSlices()
+	pxPerLeaf := float64(opt.Height) / float64(nRes)
+	pxPerSlice := float64(opt.Width) / float64(nT)
+	palette := opt.Palette
+	if palette == nil {
+		palette = DefaultPalette(m.States)
+	}
+	sc := &Scene{
+		W: opt.Width, H: opt.Height,
+		TimeStart: m.Slicer.Start, TimeEnd: m.Slicer.End,
+		Tooltips: opt.Tooltips,
+	}
+	for i, s := range m.States {
+		sc.Legend = append(sc.Legend, LegendEntry{State: s, Color: palette[i]})
+	}
+
+	rectFor := func(a partition.Area, visual bool, mark Mark) Rect {
+		info := agg.Describe(a)
+		r := Rect{
+			X:      float64(a.I) * pxPerSlice,
+			Y:      float64(a.Node.Lo) * pxPerLeaf,
+			W:      float64(a.Slices()) * pxPerSlice,
+			H:      float64(a.Leaves()) * pxPerLeaf,
+			Mode:   info.Mode,
+			Alpha:  info.Alpha,
+			Mark:   mark,
+			Rho:    info.Rho,
+			Area:   a,
+			Visual: visual,
+		}
+		if info.Mode >= 0 {
+			r.Color = palette[info.Mode]
+		}
+		return r
+	}
+
+	// Pass 1: split areas into directly drawable and sub-threshold.
+	type group struct {
+		parent *partition.Area // synthesized extent (node = common ancestor)
+		areas  []partition.Area
+	}
+	var small []partition.Area
+	for _, a := range pt.Areas {
+		h := float64(a.Leaves()) * pxPerLeaf
+		if opt.MinHeight > 0 && h < opt.MinHeight {
+			small = append(small, a)
+			continue
+		}
+		sc.Rects = append(sc.Rects, rectFor(a, false, MarkNone))
+		sc.DataAggregates++
+	}
+
+	// Pass 2: group sub-threshold areas under their lowest ancestor tall
+	// enough to draw, then decide diagonal vs cross per group.
+	groups := make(map[int]*group) // ancestor node ID → group
+	for _, a := range small {
+		anc := a.Node
+		for anc.Parent != nil && float64(anc.Size())*pxPerLeaf < opt.MinHeight {
+			anc = anc.Parent
+		}
+		g, ok := groups[anc.ID]
+		if !ok {
+			g = &group{parent: &partition.Area{Node: anc, I: a.I, J: a.J}}
+			groups[anc.ID] = g
+		}
+		if a.I < g.parent.I {
+			g.parent.I = a.I
+		}
+		if a.J > g.parent.J {
+			g.parent.J = a.J
+		}
+		g.areas = append(g.areas, a)
+	}
+	ids := make([]int, 0, len(groups))
+	for id := range groups {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		g := groups[id]
+		sc.HiddenAggregates += len(g.areas)
+		if sameTemporalPartition(g.areas) {
+			// One visual aggregate per shared interval, diagonal mark.
+			ivs := intervalsOf(g.areas)
+			for _, iv := range ivs {
+				a := partition.Area{Node: g.parent.Node, I: iv[0], J: iv[1]}
+				sc.Rects = append(sc.Rects, rectFor(a, true, MarkDiagonal))
+				sc.VisualAggregates++
+			}
+		} else {
+			sc.Rects = append(sc.Rects, rectFor(*g.parent, true, MarkCross))
+			sc.VisualAggregates++
+		}
+	}
+	return sc
+}
+
+// sameTemporalPartition reports whether every resource covered by the
+// areas has the same multiset of interval bounds — §IV's diagonal-vs-cross
+// criterion.
+func sameTemporalPartition(areas []partition.Area) bool {
+	perLeaf := make(map[int][][2]int)
+	for _, a := range areas {
+		for s := a.Node.Lo; s < a.Node.Hi; s++ {
+			perLeaf[s] = append(perLeaf[s], [2]int{a.I, a.J})
+		}
+	}
+	var ref [][2]int
+	first := true
+	for _, ivs := range perLeaf {
+		sort.Slice(ivs, func(i, j int) bool { return ivs[i][0] < ivs[j][0] })
+		if first {
+			ref = ivs
+			first = false
+			continue
+		}
+		if len(ivs) != len(ref) {
+			return false
+		}
+		for i := range ivs {
+			if ivs[i] != ref[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// intervalsOf returns the sorted distinct intervals present in the areas.
+func intervalsOf(areas []partition.Area) [][2]int {
+	seen := make(map[[2]int]bool)
+	var out [][2]int
+	for _, a := range areas {
+		iv := [2]int{a.I, a.J}
+		if !seen[iv] {
+			seen[iv] = true
+			out = append(out, iv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

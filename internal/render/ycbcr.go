@@ -1,0 +1,43 @@
+package render
+
+import (
+	"image/color"
+	"math"
+)
+
+// The paper's future work (§VI) observes that the α-transparency encoding
+// interacts badly with hue: "its effect on the user is dependent on the
+// colors that are employed. Solutions using different color spaces, as
+// YCbCr, could be employed." This file implements that suggestion: a
+// palette generator that places states on the chroma (Cb, Cr) plane at
+// *constant luma*, so that the α channel — which §IV uses to encode the
+// mode's share — is the only luminance-affecting variable. Two aggregates
+// with the same α then have the same perceived brightness regardless of
+// their state hue.
+
+// YCbCrPalette returns n colors of equal luma, spread uniformly on a
+// circle of the chroma plane. The luma (0–255) sets the shared perceived
+// brightness; 170 reads well on white backgrounds.
+func YCbCrPalette(n int, luma uint8) []color.RGBA {
+	if n <= 0 {
+		return nil
+	}
+	// Radius chosen so every hue stays inside the RGB gamut at mid luma
+	// (B = Y + 1.772·(Cb−128) is the binding channel: 1.772·45 ≈ 80).
+	const radius = 45.0
+	out := make([]color.RGBA, n)
+	for i := range out {
+		angle := 2 * math.Pi * float64(i) / float64(n)
+		cb := uint8(128 + radius*math.Cos(angle))
+		cr := uint8(128 + radius*math.Sin(angle))
+		r, g, b := color.YCbCrToRGB(luma, cb, cr)
+		out[i] = color.RGBA{r, g, b, 0xFF}
+	}
+	return out
+}
+
+// Luma returns the Y (luminance) of an RGBA color under the BT.601
+// weights used by image/color — the quantity YCbCrPalette equalizes.
+func Luma(c color.RGBA) float64 {
+	return 0.299*float64(c.R) + 0.587*float64(c.G) + 0.114*float64(c.B)
+}

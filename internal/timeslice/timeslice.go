@@ -1,0 +1,100 @@
+// Package timeslice implements the temporal dimension of the trace model
+// (paper §III.A(2)): the continuous raw-trace time is divided into |T|
+// regular time periods ("slices"); events are associated with the slices
+// where they are active, proportionally to their overlap.
+package timeslice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Slicer divides the window [Start, End) into N equal slices.
+type Slicer struct {
+	Start, End float64
+	N          int
+}
+
+// New returns a Slicer over [start, end) with n slices.
+func New(start, end float64, n int) (Slicer, error) {
+	if n <= 0 {
+		return Slicer{}, fmt.Errorf("timeslice: need at least one slice, got %d", n)
+	}
+	if !(end > start) {
+		return Slicer{}, fmt.Errorf("timeslice: empty window [%g,%g)", start, end)
+	}
+	return Slicer{Start: start, End: end, N: n}, nil
+}
+
+// Width returns the duration d(t) of one slice (slices are regular).
+func (s Slicer) Width() float64 { return (s.End - s.Start) / float64(s.N) }
+
+// Bounds returns the half-open time interval covered by slice i.
+func (s Slicer) Bounds(i int) (float64, float64) {
+	w := s.Width()
+	return s.Start + float64(i)*w, s.Start + float64(i+1)*w
+}
+
+// IntervalBounds returns the time range covered by slices [i, j].
+func (s Slicer) IntervalBounds(i, j int) (float64, float64) {
+	lo, _ := s.Bounds(i)
+	_, hi := s.Bounds(j)
+	return lo, hi
+}
+
+// SliceOf returns the index of the slice containing time t, clamped to
+// [0, N-1] for t at or beyond the window edges.
+func (s Slicer) SliceOf(t float64) int {
+	if t <= s.Start {
+		return 0
+	}
+	if t >= s.End {
+		return s.N - 1
+	}
+	i := int((t - s.Start) / s.Width())
+	if i >= s.N { // guard against floating-point edge
+		i = s.N - 1
+	}
+	return i
+}
+
+// Overlap visits every slice that intersects [start, end) and reports the
+// overlap duration; the visitor receives (sliceIndex, seconds). Events
+// outside the window are clipped; an event fully outside produces no calls.
+// The sum of reported seconds equals the clipped event duration (up to
+// floating-point rounding).
+func (s Slicer) Overlap(start, end float64, visit func(slice int, seconds float64)) {
+	if end <= s.Start || start >= s.End || end <= start {
+		return
+	}
+	if start < s.Start {
+		start = s.Start
+	}
+	if end > s.End {
+		end = s.End
+	}
+	first, last := s.SliceOf(start), s.SliceOf(end)
+	// SliceOf(end) may land one past the real last overlapped slice when
+	// end is exactly a slice boundary.
+	if lo, _ := s.Bounds(last); lo >= end {
+		last--
+	}
+	for i := first; i <= last; i++ {
+		lo, hi := s.Bounds(i)
+		a, b := math.Max(start, lo), math.Min(end, hi)
+		if b > a {
+			visit(i, b-a)
+		}
+	}
+}
+
+// Durations returns the slice-duration vector d(t) (all equal for a regular
+// slicer, kept as a vector so downstream code works with any slicing).
+func (s Slicer) Durations() []float64 {
+	out := make([]float64, s.N)
+	w := s.Width()
+	for i := range out {
+		out[i] = w
+	}
+	return out
+}

@@ -1,0 +1,179 @@
+package timeslice
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRejectsBadInput(t *testing.T) {
+	if _, err := New(0, 10, 0); err == nil {
+		t.Error("zero slices accepted")
+	}
+	if _, err := New(0, 10, -3); err == nil {
+		t.Error("negative slices accepted")
+	}
+	if _, err := New(5, 5, 10); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := New(7, 3, 10); err == nil {
+		t.Error("inverted window accepted")
+	}
+}
+
+func TestBoundsTileWindow(t *testing.T) {
+	s, _ := New(2, 12, 5)
+	prevEnd := 2.0
+	for i := 0; i < s.N; i++ {
+		lo, hi := s.Bounds(i)
+		if math.Abs(lo-prevEnd) > 1e-12 {
+			t.Errorf("slice %d starts at %g, want %g", i, lo, prevEnd)
+		}
+		if math.Abs(hi-lo-s.Width()) > 1e-12 {
+			t.Errorf("slice %d width %g, want %g", i, hi-lo, s.Width())
+		}
+		prevEnd = hi
+	}
+	if math.Abs(prevEnd-12) > 1e-12 {
+		t.Errorf("last slice ends at %g, want 12", prevEnd)
+	}
+}
+
+func TestSliceOf(t *testing.T) {
+	s, _ := New(0, 10, 10)
+	cases := []struct {
+		t    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.5, 0}, {1, 1}, {9.99, 9}, {10, 9}, {42, 9},
+	}
+	for _, c := range cases {
+		if got := s.SliceOf(c.t); got != c.want {
+			t.Errorf("SliceOf(%g) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestIntervalBounds(t *testing.T) {
+	s, _ := New(0, 30, 30)
+	lo, hi := s.IntervalBounds(3, 5)
+	if lo != 3 || hi != 6 {
+		t.Errorf("IntervalBounds(3,5) = (%g,%g), want (3,6)", lo, hi)
+	}
+}
+
+func TestOverlapSimple(t *testing.T) {
+	s, _ := New(0, 10, 10)
+	var got []struct {
+		i   int
+		sec float64
+	}
+	s.Overlap(1.5, 3.25, func(i int, sec float64) {
+		got = append(got, struct {
+			i   int
+			sec float64
+		}{i, sec})
+	})
+	if len(got) != 3 {
+		t.Fatalf("got %d slices, want 3 (%v)", len(got), got)
+	}
+	if got[0].i != 1 || math.Abs(got[0].sec-0.5) > 1e-12 {
+		t.Errorf("first overlap = %+v, want slice 1, 0.5s", got[0])
+	}
+	if got[1].i != 2 || math.Abs(got[1].sec-1) > 1e-12 {
+		t.Errorf("second overlap = %+v, want slice 2, 1s", got[1])
+	}
+	if got[2].i != 3 || math.Abs(got[2].sec-0.25) > 1e-12 {
+		t.Errorf("third overlap = %+v, want slice 3, 0.25s", got[2])
+	}
+}
+
+func TestOverlapClipsToWindow(t *testing.T) {
+	s, _ := New(0, 10, 5)
+	var total float64
+	s.Overlap(-3, 4, func(i int, sec float64) { total += sec })
+	if math.Abs(total-4) > 1e-12 {
+		t.Errorf("clipped total %g, want 4", total)
+	}
+	total = 0
+	s.Overlap(8, 25, func(i int, sec float64) { total += sec })
+	if math.Abs(total-2) > 1e-12 {
+		t.Errorf("clipped total %g, want 2", total)
+	}
+}
+
+func TestOverlapOutsideWindow(t *testing.T) {
+	s, _ := New(0, 10, 5)
+	calls := 0
+	s.Overlap(-5, -1, func(int, float64) { calls++ })
+	s.Overlap(11, 15, func(int, float64) { calls++ })
+	s.Overlap(3, 3, func(int, float64) { calls++ }) // zero-length
+	s.Overlap(4, 2, func(int, float64) { calls++ }) // inverted
+	if calls != 0 {
+		t.Errorf("events outside window produced %d calls", calls)
+	}
+}
+
+func TestOverlapExactBoundary(t *testing.T) {
+	s, _ := New(0, 10, 10)
+	// An event ending exactly on a slice boundary must not touch the
+	// next slice.
+	var slices []int
+	s.Overlap(2, 3, func(i int, sec float64) { slices = append(slices, i) })
+	if len(slices) != 1 || slices[0] != 2 {
+		t.Errorf("boundary event hit slices %v, want [2]", slices)
+	}
+}
+
+// TestOverlapConservation: for any event, the sum of per-slice overlaps
+// equals the clipped event duration.
+func TestOverlapConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		s, err := New(0, 1+rng.Float64()*100, n)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 20; k++ {
+			a := rng.Float64()*s.End*1.2 - 0.1*s.End
+			b := a + rng.Float64()*s.End*0.5
+			clipA, clipB := math.Max(a, s.Start), math.Min(b, s.End)
+			want := math.Max(0, clipB-clipA)
+			var got float64
+			prev := -1
+			ok := true
+			s.Overlap(a, b, func(i int, sec float64) {
+				got += sec
+				if i <= prev { // slices visited in order, once each
+					ok = false
+				}
+				if sec <= 0 || sec > s.Width()+1e-9 {
+					ok = false
+				}
+				prev = i
+			})
+			if !ok || math.Abs(got-want) > 1e-9*(1+want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDurations(t *testing.T) {
+	s, _ := New(0, 30, 30)
+	d := s.Durations()
+	if len(d) != 30 {
+		t.Fatalf("len = %d", len(d))
+	}
+	for i, v := range d {
+		if math.Abs(v-1) > 1e-12 {
+			t.Errorf("d(%d) = %g, want 1", i, v)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package traceio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"ocelotl/internal/trace"
+)
+
+// The binary OCLT format, little-endian throughout:
+//
+//	magic   "OCLT"
+//	u32     version (1)
+//	f64     window start, f64 window end
+//	u32     resource count, then per resource: u16 length + UTF-8 bytes
+//	u32     state count, same encoding
+//	events  until EOF, each:
+//	          uvarint resource, uvarint state, f64 start, f64 end
+//
+// Varint IDs keep small ranks at 1–2 bytes; a typical event is ~18 bytes
+// versus ~60 in CSV.
+const (
+	binaryMagic   = "OCLT"
+	binaryVersion = 1
+)
+
+type binaryWriter struct {
+	w   *bufio.Writer
+	buf [2*binary.MaxVarintLen64 + 16]byte
+}
+
+func newBinaryWriter(w io.Writer, hdr Header) (*binaryWriter, error) {
+	bw := &binaryWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := bw.w.WriteString(binaryMagic); err != nil {
+		return nil, err
+	}
+	writeU32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		bw.w.Write(b[:])
+	}
+	writeF64 := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		bw.w.Write(b[:])
+	}
+	writeStr := func(s string) error {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("traceio: name longer than 64KiB")
+		}
+		var b [2]byte
+		binary.LittleEndian.PutUint16(b[:], uint16(len(s)))
+		bw.w.Write(b[:])
+		bw.w.WriteString(s)
+		return nil
+	}
+	writeU32(binaryVersion)
+	writeF64(hdr.Start)
+	writeF64(hdr.End)
+	writeU32(uint32(len(hdr.Resources)))
+	for _, r := range hdr.Resources {
+		if err := writeStr(r); err != nil {
+			return nil, err
+		}
+	}
+	writeU32(uint32(len(hdr.States)))
+	for _, s := range hdr.States {
+		if err := writeStr(s); err != nil {
+			return nil, err
+		}
+	}
+	return bw, nil
+}
+
+func (bw *binaryWriter) WriteEvent(e trace.Event) error {
+	if e.Resource < 0 || e.State < 0 {
+		return fmt.Errorf("traceio: negative IDs in event %+v", e)
+	}
+	b := bw.buf[:0]
+	b = binary.AppendUvarint(b, uint64(e.Resource))
+	b = binary.AppendUvarint(b, uint64(e.State))
+	var f [8]byte
+	binary.LittleEndian.PutUint64(f[:], math.Float64bits(e.Start))
+	b = append(b, f[:]...)
+	binary.LittleEndian.PutUint64(f[:], math.Float64bits(e.End))
+	b = append(b, f[:]...)
+	_, err := bw.w.Write(b)
+	return err
+}
+
+func (bw *binaryWriter) Close() error { return bw.w.Flush() }
+
+type binaryReader struct {
+	r          *bufio.Reader
+	resources  []string
+	states     []string
+	start, end float64
+}
+
+func newBinaryReader(r *bufio.Reader) (*binaryReader, error) {
+	br := &binaryReader{r: r}
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("traceio: binary: %w", err)
+	}
+	if string(magic[:]) != binaryMagic {
+		return nil, fmt.Errorf("traceio: binary: bad magic %q", magic)
+	}
+	version, err := br.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != binaryVersion {
+		return nil, fmt.Errorf("traceio: binary: unsupported version %d", version)
+	}
+	if br.start, err = br.readF64(); err != nil {
+		return nil, err
+	}
+	if br.end, err = br.readF64(); err != nil {
+		return nil, err
+	}
+	if br.resources, err = br.readStrings("resources"); err != nil {
+		return nil, err
+	}
+	if br.states, err = br.readStrings("states"); err != nil {
+		return nil, err
+	}
+	return br, nil
+}
+
+func (br *binaryReader) readU32() (uint32, error) {
+	var b [4]byte
+	if _, err := io.ReadFull(br.r, b[:]); err != nil {
+		return 0, fmt.Errorf("traceio: binary header: %w", err)
+	}
+	return binary.LittleEndian.Uint32(b[:]), nil
+}
+
+func (br *binaryReader) readF64() (float64, error) {
+	var b [8]byte
+	if _, err := io.ReadFull(br.r, b[:]); err != nil {
+		return 0, fmt.Errorf("traceio: binary header: %w", err)
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
+}
+
+func (br *binaryReader) readStrings(what string) ([]string, error) {
+	n, err := br.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if n > 100_000_000 {
+		return nil, fmt.Errorf("traceio: binary: implausible %s count %d", what, n)
+	}
+	out := make([]string, n)
+	var lb [2]byte
+	for i := range out {
+		if _, err := io.ReadFull(br.r, lb[:]); err != nil {
+			return nil, fmt.Errorf("traceio: binary %s table: %w", what, err)
+		}
+		l := binary.LittleEndian.Uint16(lb[:])
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br.r, buf); err != nil {
+			return nil, fmt.Errorf("traceio: binary %s table: %w", what, err)
+		}
+		out[i] = string(buf)
+	}
+	return out, nil
+}
+
+func (br *binaryReader) Resources() []string        { return br.resources }
+func (br *binaryReader) States() []string           { return br.states }
+func (br *binaryReader) Window() (float64, float64) { return br.start, br.end }
+func (br *binaryReader) Close() error               { return nil }
+
+func (br *binaryReader) Next(ev *trace.Event) error {
+	res, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("traceio: binary event: %w", err)
+	}
+	st, err := binary.ReadUvarint(br.r)
+	if err != nil {
+		return truncErr(err)
+	}
+	var b [16]byte
+	if _, err := io.ReadFull(br.r, b[:]); err != nil {
+		return truncErr(err)
+	}
+	if res >= uint64(len(br.resources)) {
+		return fmt.Errorf("traceio: binary event references resource %d, table has %d", res, len(br.resources))
+	}
+	if st >= uint64(len(br.states)) {
+		return fmt.Errorf("traceio: binary event references state %d, table has %d", st, len(br.states))
+	}
+	ev.Resource = trace.ResourceID(res)
+	ev.State = trace.StateID(st)
+	ev.Start = math.Float64frombits(binary.LittleEndian.Uint64(b[:8]))
+	ev.End = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	return nil
+}
+
+// truncErr converts an EOF mid-record into a corruption error (a clean EOF
+// is only legal at a record boundary).
+func truncErr(err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("traceio: binary: truncated event record")
+	}
+	return fmt.Errorf("traceio: binary event: %w", err)
+}

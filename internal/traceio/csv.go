@@ -1,0 +1,215 @@
+package traceio
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"ocelotl/internal/trace"
+)
+
+// The CSV trace format, line-oriented in the spirit of Paje's self-defined
+// text traces:
+//
+//	# ocelotl-trace v1
+//	window,0,9.5
+//	resource,0,rennes/parapide/parapide-1/p0
+//	state,0,MPI_Init
+//	event,<resource>,<state>,<start>,<end>
+//
+// Header lines (window/resource/state) must precede event lines; blank
+// lines and lines starting with '#' are ignored. Resource and state IDs
+// must be dense, starting at 0, in increasing order.
+const csvHeaderLine = "# ocelotl-trace v1"
+
+type csvWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+func newCSVWriter(w io.Writer, hdr Header) (*csvWriter, error) {
+	cw := &csvWriter{w: bufio.NewWriterSize(w, 1<<20)}
+	fmt.Fprintln(cw.w, csvHeaderLine)
+	fmt.Fprintf(cw.w, "window,%s,%s\n", formatFloat(hdr.Start), formatFloat(hdr.End))
+	for i, r := range hdr.Resources {
+		fmt.Fprintf(cw.w, "resource,%d,%s\n", i, r)
+	}
+	for i, s := range hdr.States {
+		fmt.Fprintf(cw.w, "state,%d,%s\n", i, s)
+	}
+	return cw, nil
+}
+
+func (cw *csvWriter) WriteEvent(e trace.Event) error {
+	b := cw.buf[:0]
+	b = append(b, "event,"...)
+	b = strconv.AppendInt(b, int64(e.Resource), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(e.State), 10)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, e.Start, 'g', 17, 64)
+	b = append(b, ',')
+	b = strconv.AppendFloat(b, e.End, 'g', 17, 64)
+	b = append(b, '\n')
+	cw.buf = b
+	_, err := cw.w.Write(b)
+	return err
+}
+
+func (cw *csvWriter) Close() error { return cw.w.Flush() }
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 17, 64) }
+
+type csvReader struct {
+	sc         *bufio.Scanner
+	resources  []string
+	states     []string
+	start, end float64
+	line       int
+	// pending holds the first event line encountered while parsing the
+	// header, so Next can emit it.
+	pending  string
+	havePend bool
+}
+
+func newCSVReader(r io.Reader) (*csvReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	cr := &csvReader{sc: sc}
+	if err := cr.readHeader(); err != nil {
+		return nil, err
+	}
+	return cr, nil
+}
+
+func (cr *csvReader) readHeader() error {
+	for cr.sc.Scan() {
+		cr.line++
+		line := strings.TrimSpace(cr.sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		kind, rest, _ := strings.Cut(line, ",")
+		switch kind {
+		case "window":
+			a, b, ok := strings.Cut(rest, ",")
+			if !ok {
+				return cr.errf("malformed window line")
+			}
+			var err error
+			if cr.start, err = strconv.ParseFloat(a, 64); err != nil {
+				return cr.errf("bad window start: %v", err)
+			}
+			if cr.end, err = strconv.ParseFloat(b, 64); err != nil {
+				return cr.errf("bad window end: %v", err)
+			}
+		case "resource":
+			idStr, name, ok := strings.Cut(rest, ",")
+			if !ok {
+				return cr.errf("malformed resource line")
+			}
+			id, err := strconv.Atoi(idStr)
+			if err != nil || id != len(cr.resources) {
+				return cr.errf("resource IDs must be dense and increasing (got %q, want %d)", idStr, len(cr.resources))
+			}
+			cr.resources = append(cr.resources, name)
+		case "state":
+			idStr, name, ok := strings.Cut(rest, ",")
+			if !ok {
+				return cr.errf("malformed state line")
+			}
+			id, err := strconv.Atoi(idStr)
+			if err != nil || id != len(cr.states) {
+				return cr.errf("state IDs must be dense and increasing (got %q, want %d)", idStr, len(cr.states))
+			}
+			cr.states = append(cr.states, name)
+		case "event":
+			if len(cr.resources) == 0 || len(cr.states) == 0 {
+				return cr.errf("event line before resource/state declarations")
+			}
+			cr.pending, cr.havePend = line, true
+			return nil
+		default:
+			return cr.errf("unknown line kind %q", kind)
+		}
+	}
+	if err := cr.sc.Err(); err != nil {
+		return err
+	}
+	// A header-only trace (no events) is legal.
+	if len(cr.resources) == 0 || len(cr.states) == 0 {
+		return fmt.Errorf("traceio: csv: missing resource/state declarations")
+	}
+	return nil
+}
+
+func (cr *csvReader) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("traceio: csv line %d: %s", cr.line, fmt.Sprintf(format, args...))
+}
+
+func (cr *csvReader) Resources() []string        { return cr.resources }
+func (cr *csvReader) States() []string           { return cr.states }
+func (cr *csvReader) Window() (float64, float64) { return cr.start, cr.end }
+func (cr *csvReader) Close() error               { return nil }
+
+func (cr *csvReader) Next(ev *trace.Event) error {
+	var line string
+	if cr.havePend {
+		line, cr.havePend = cr.pending, false
+	} else {
+		for {
+			if !cr.sc.Scan() {
+				if err := cr.sc.Err(); err != nil {
+					return err
+				}
+				return io.EOF
+			}
+			cr.line++
+			line = strings.TrimSpace(cr.sc.Text())
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			break
+		}
+	}
+	return cr.parseEvent(line, ev)
+}
+
+func (cr *csvReader) parseEvent(line string, ev *trace.Event) error {
+	kind, rest, _ := strings.Cut(line, ",")
+	if kind != "event" {
+		return cr.errf("unexpected %q line in event section", kind)
+	}
+	parts := strings.Split(rest, ",")
+	if len(parts) != 4 {
+		return cr.errf("event needs 4 fields, got %d", len(parts))
+	}
+	res, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return cr.errf("bad resource: %v", err)
+	}
+	st, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return cr.errf("bad state: %v", err)
+	}
+	start, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return cr.errf("bad start: %v", err)
+	}
+	end, err := strconv.ParseFloat(parts[3], 64)
+	if err != nil {
+		return cr.errf("bad end: %v", err)
+	}
+	if res < 0 || res >= len(cr.resources) {
+		return cr.errf("resource %d out of range [0,%d)", res, len(cr.resources))
+	}
+	if st < 0 || st >= len(cr.states) {
+		return cr.errf("state %d out of range [0,%d)", st, len(cr.states))
+	}
+	ev.Resource = trace.ResourceID(res)
+	ev.State = trace.StateID(st)
+	ev.Start, ev.End = start, end
+	return nil
+}

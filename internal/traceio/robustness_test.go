@@ -1,0 +1,128 @@
+package traceio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+
+	"ocelotl/internal/trace"
+)
+
+// buildValid returns a valid encoded trace in the given format.
+func buildValid(t *testing.T, format Format) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, format, Header{
+		Resources: []string{"c/a", "c/b"},
+		States:    []string{"x", "y"},
+		Start:     0, End: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		w.WriteEvent(trace.Event{
+			Resource: trace.ResourceID(i % 2),
+			State:    trace.StateID(i % 2),
+			Start:    float64(i) * 0.1,
+			End:      float64(i)*0.1 + 0.05,
+		})
+	}
+	w.Close()
+	return buf.Bytes()
+}
+
+// drain reads a stream to EOF or error, returning the error (nil on clean
+// EOF). It must never panic, whatever the input.
+func drain(data []byte) error {
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	var ev trace.Event
+	for {
+		if err := r.Next(&ev); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// TestRandomMutationsNeverPanic: flip, truncate and splice the encodings at
+// random; decoders must fail cleanly (error or valid decode), never panic,
+// and never loop forever.
+func TestRandomMutationsNeverPanic(t *testing.T) {
+	for _, format := range []Format{FormatCSV, FormatBinary} {
+		valid := buildValid(t, format)
+		rng := rand.New(rand.NewSource(int64(format) + 1))
+		for trial := 0; trial < 300; trial++ {
+			data := append([]byte(nil), valid...)
+			switch trial % 3 {
+			case 0: // flip random bytes
+				for k := 0; k < 1+rng.Intn(8); k++ {
+					data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+				}
+			case 1: // truncate
+				data = data[:rng.Intn(len(data))]
+			case 2: // splice a random chunk
+				at := rng.Intn(len(data))
+				junk := make([]byte, rng.Intn(32))
+				rng.Read(junk)
+				data = append(data[:at:at], append(junk, data[at:]...)...)
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v trial %d: panic %v", format, trial, r)
+					}
+				}()
+				_ = drain(data) // error or success are both acceptable
+			}()
+		}
+	}
+}
+
+// TestRandomGarbageNeverPanics feeds pure noise to the sniffer.
+func TestRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		data := make([]byte, rng.Intn(512))
+		rng.Read(data)
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("trial %d: panic %v", trial, r)
+				}
+			}()
+			_ = drain(data)
+		}()
+	}
+}
+
+// TestMutatedEventsAreRangeChecked: mutations that survive decoding must
+// still produce in-range IDs (the readers validate against their tables).
+func TestMutatedEventsAreRangeChecked(t *testing.T) {
+	valid := buildValid(t, FormatBinary)
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		data := append([]byte(nil), valid...)
+		data[rng.Intn(len(data))] ^= byte(1 << rng.Intn(8))
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			continue
+		}
+		nRes, nSt := len(r.Resources()), len(r.States())
+		var ev trace.Event
+		for {
+			if err := r.Next(&ev); err != nil {
+				break
+			}
+			if int(ev.Resource) >= nRes || ev.Resource < 0 || int(ev.State) >= nSt || ev.State < 0 {
+				t.Fatalf("trial %d: out-of-range event %+v escaped validation", trial, ev)
+			}
+		}
+	}
+}

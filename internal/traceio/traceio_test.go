@@ -1,0 +1,428 @@
+package traceio
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ocelotl/internal/grid5000"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/trace"
+)
+
+func sampleTrace() *trace.Trace {
+	tr := trace.New([]string{"A/a0", "A/a1", "B/b0"}, []string{"run", "wait"})
+	tr.Start, tr.End = 0, 10
+	tr.Add(0, 0, 0, 2.5)
+	tr.Add(1, 1, 0.25, 9.75)
+	tr.Add(2, 0, 3, 4)
+	tr.Add(2, 1, 4, 10)
+	return tr
+}
+
+func roundTripFile(t *testing.T, name string) {
+	t.Helper()
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), name)
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(got.Resources) != 3 || got.Resources[2] != "B/b0" {
+		t.Errorf("resources = %v", got.Resources)
+	}
+	if len(got.States) != 2 || got.States[1] != "wait" {
+		t.Errorf("states = %v", got.States)
+	}
+	s, e := got.Window()
+	if s != 0 || e != 10 {
+		t.Errorf("window = (%g,%g)", s, e)
+	}
+	if got.NumEvents() != tr.NumEvents() {
+		t.Fatalf("events = %d, want %d", got.NumEvents(), tr.NumEvents())
+	}
+	for i := range tr.Events {
+		if tr.Events[i] != got.Events[i] {
+			t.Errorf("event %d: %+v != %+v", i, got.Events[i], tr.Events[i])
+		}
+	}
+}
+
+func TestRoundTripCSV(t *testing.T)      { roundTripFile(t, "t.csv") }
+func TestRoundTripCSVGz(t *testing.T)    { roundTripFile(t, "t.csv.gz") }
+func TestRoundTripBinary(t *testing.T)   { roundTripFile(t, "t.bin") }
+func TestRoundTripBinaryGz(t *testing.T) { roundTripFile(t, "t.bin.gz") }
+
+func TestFormatForPath(t *testing.T) {
+	cases := []struct {
+		path string
+		f    Format
+		gz   bool
+	}{
+		{"a.csv", FormatCSV, false},
+		{"a.paje", FormatCSV, false},
+		{"a.txt.gz", FormatCSV, true},
+		{"a.bin", FormatBinary, false},
+		{"a.bin.gz", FormatBinary, true},
+		{"a.unknown", FormatBinary, false},
+		{"A.CSV", FormatCSV, false},
+	}
+	for _, c := range cases {
+		f, gz := FormatForPath(c.path)
+		if f != c.f || gz != c.gz {
+			t.Errorf("FormatForPath(%q) = (%v,%v), want (%v,%v)", c.path, f, gz, c.f, c.gz)
+		}
+	}
+}
+
+func TestFormatString(t *testing.T) {
+	if FormatCSV.String() != "csv" || FormatBinary.String() != "binary" {
+		t.Error("format names wrong")
+	}
+	if !strings.HasPrefix(Format(9).String(), "format(") {
+		t.Error("unknown format String")
+	}
+}
+
+func TestSniffingIgnoresExtension(t *testing.T) {
+	// Write binary into a .csv-named file: OpenFile must still decode it.
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "actually-binary.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWriter(f, FormatBinary, Header{Resources: tr.Resources, States: tr.States, Start: 0, End: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.Events {
+		w.WriteEvent(e)
+	}
+	w.Close()
+	f.Close()
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatalf("sniffing failed: %v", err)
+	}
+	if got.NumEvents() != tr.NumEvents() {
+		t.Errorf("events = %d", got.NumEvents())
+	}
+}
+
+func TestStreamingReaderInterface(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var ev trace.Event
+	n := 0
+	for {
+		err := r.Next(&ev)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != tr.NumEvents() {
+		t.Errorf("streamed %d events, want %d", n, tr.NumEvents())
+	}
+	// EOF is sticky.
+	if err := r.Next(&ev); err != io.EOF {
+		t.Errorf("post-EOF Next = %v", err)
+	}
+}
+
+func TestCountEvents(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "t.csv.gz")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountEvents(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(tr.NumEvents()) {
+		t.Errorf("CountEvents = %d, want %d", n, tr.NumEvents())
+	}
+}
+
+func TestHeaderValidate(t *testing.T) {
+	ok := Header{Resources: []string{"a"}, States: []string{"x"}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid header rejected: %v", err)
+	}
+	bad := []Header{
+		{States: []string{"x"}},
+		{Resources: []string{"a"}},
+		{Resources: []string{"a,b"}, States: []string{"x"}},
+		{Resources: []string{"a"}, States: []string{"x\ny"}},
+	}
+	for i, h := range bad {
+		if err := h.Validate(); err == nil {
+			t.Errorf("bad header %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRejectsCorruption(t *testing.T) {
+	cases := []string{
+		"",                                    // empty
+		"window,0,1\n",                        // no tables
+		"bogus,1,2\n",                         // unknown kind
+		"event,0,0,0,1\n",                     // event before tables
+		"resource,1,a\n",                      // non-dense IDs
+		"resource,0,a\nstate,0,x\nwindow,0\n", // malformed window
+	}
+	for i, body := range cases {
+		_, err := NewReader(strings.NewReader(body))
+		if err == nil {
+			t.Errorf("corrupt CSV %d accepted", i)
+		}
+	}
+}
+
+func TestCSVRejectsBadEvents(t *testing.T) {
+	head := "resource,0,a\nstate,0,x\n"
+	cases := []string{
+		head + "event,0,0,zero,1\n",
+		head + "event,0,0,0\n",
+		head + "event,5,0,0,1\n",
+		head + "event,0,5,0,1\n",
+		head + "resource,1,b\n", // table line after events started is fine only before events; here it's first non-event... actually this is a header line, accepted
+	}
+	for i, body := range cases[:4] {
+		r, err := NewReader(strings.NewReader(body))
+		if err != nil {
+			continue // rejected at header stage is fine too
+		}
+		var ev trace.Event
+		if err := r.Next(&ev); err == nil {
+			t.Errorf("corrupt CSV event %d accepted", i)
+		}
+	}
+}
+
+func TestCSVSkipsCommentsAndBlanks(t *testing.T) {
+	body := "# comment\n\nwindow,0,5\nresource,0,a\nstate,0,x\n\n# mid comment\nevent,0,0,1,2\n\n"
+	r, err := NewReader(strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev trace.Event
+	if err := r.Next(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Start != 1 || ev.End != 2 {
+		t.Errorf("event = %+v", ev)
+	}
+	if err := r.Next(&ev); err != io.EOF {
+		t.Errorf("want EOF, got %v", err)
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	// Build a valid stream then truncate/corrupt it.
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, FormatBinary, Header{Resources: []string{"a"}, States: []string{"x"}, Start: 0, End: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.WriteEvent(trace.Event{Resource: 0, State: 0, Start: 0, End: 1})
+	w.Close()
+	full := buf.Bytes()
+
+	// Bad magic.
+	bad := append([]byte("XXXX"), full[4:]...)
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		// Sniffing falls back to CSV, which must then fail.
+		t.Error("bad magic accepted")
+	}
+	// Truncated mid-event.
+	trunc := full[:len(full)-5]
+	r, err := NewReader(bytes.NewReader(trunc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev trace.Event
+	if err := r.Next(&ev); err == nil {
+		t.Error("truncated event decoded")
+	}
+	// Bad version.
+	badv := append([]byte(nil), full...)
+	badv[4] = 99
+	if _, err := NewReader(bytes.NewReader(badv)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestBinaryRejectsOutOfRangeIDs(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, FormatBinary, Header{Resources: []string{"a"}, States: []string{"x"}})
+	w.WriteEvent(trace.Event{Resource: 0, State: 0, Start: 0, End: 1})
+	w.Close()
+	raw := buf.Bytes()
+	// The first event byte after the header is the resource varint (0);
+	// bump it out of range.
+	raw[len(raw)-18] = 7
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev trace.Event
+	if err := r.Next(&ev); err == nil {
+		t.Error("out-of-range resource accepted")
+	}
+}
+
+func TestWriterRejectsNegativeIDs(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, FormatBinary, Header{Resources: []string{"a"}, States: []string{"x"}})
+	if err := w.WriteEvent(trace.Event{Resource: -1, State: 0}); err == nil {
+		t.Error("negative resource accepted")
+	}
+}
+
+func TestNewWriterRejectsUnknownFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewWriter(&buf, Format(42), Header{Resources: []string{"a"}, States: []string{"x"}}); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.bin")); err == nil {
+		t.Error("missing file opened")
+	}
+}
+
+// TestRoundTripProperty: arbitrary traces survive both codecs exactly
+// (float64 values are encoded losslessly in both formats).
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := trace.New([]string{"c/a", "c/b", "d/e"}, []string{"x", "y", "z"})
+		tr.Start, tr.End = 0, 100
+		for i := 0; i < 60; i++ {
+			start := rng.Float64() * 99
+			tr.Add(trace.ResourceID(rng.Intn(3)), trace.StateID(rng.Intn(3)), start, start+rng.Float64())
+		}
+		for _, format := range []Format{FormatCSV, FormatBinary} {
+			var buf bytes.Buffer
+			w, err := NewWriter(&buf, format, Header{Resources: tr.Resources, States: tr.States, Start: tr.Start, End: tr.End})
+			if err != nil {
+				return false
+			}
+			for _, e := range tr.Events {
+				if w.WriteEvent(e) != nil {
+					return false
+				}
+			}
+			if w.Close() != nil {
+				return false
+			}
+			r, err := NewReader(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				return false
+			}
+			var ev trace.Event
+			for i := 0; ; i++ {
+				err := r.Next(&ev)
+				if err == io.EOF {
+					if i != tr.NumEvents() {
+						return false
+					}
+					break
+				}
+				if err != nil || ev != tr.Events[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinarySmallerThanCSV(t *testing.T) {
+	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: 1, EventTarget: 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvBuf, binBuf bytes.Buffer
+	hdr := Header{Resources: res.Trace.Resources, States: res.Trace.States, Start: res.Trace.Start, End: res.Trace.End}
+	for _, tc := range []struct {
+		f   Format
+		buf *bytes.Buffer
+	}{{FormatCSV, &csvBuf}, {FormatBinary, &binBuf}} {
+		w, err := NewWriter(tc.buf, tc.f, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Trace.Events {
+			w.WriteEvent(e)
+		}
+		w.Close()
+	}
+	if binBuf.Len() >= csvBuf.Len() {
+		t.Errorf("binary (%d B) not smaller than CSV (%d B)", binBuf.Len(), csvBuf.Len())
+	}
+}
+
+// TestStreamIntoMicroscopicModel closes the loop: simulate → write → open →
+// BuildStream, and compare against the in-memory model.
+func TestStreamIntoMicroscopicModel(t *testing.T) {
+	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: 3, EventTarget: 15000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "caseA.bin.gz")
+	if err := WriteFile(path, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	mStream, err := microscopic.BuildStream(r, microscopic.Options{Slices: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mMem, err := microscopic.Build(res.Trace, microscopic.Options{Slices: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for x := 0; x < mMem.NumStates(); x++ {
+		for s := 0; s < mMem.NumResources(); s++ {
+			for ti := 0; ti < 30; ti++ {
+				a, b := mMem.D(x, s, ti), mStream.D(x, s, ti)
+				if math.Abs(a-b) > 1e-9 {
+					t.Fatalf("D(%d,%d,%d): %g vs %g", x, s, ti, a, b)
+				}
+			}
+		}
+	}
+}
