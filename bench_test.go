@@ -36,8 +36,9 @@ const benchScale = 0.02
 type caseData struct {
 	res   *mpisim.Result
 	model *microscopic.Model
-	agg   *core.Aggregator
-	path  string // binary trace on disk
+	in    *core.Input
+	agg   *core.Aggregator // compatibility facade over in
+	path  string           // binary trace on disk
 }
 
 var (
@@ -74,7 +75,8 @@ func loadCase(b *testing.B, c grid5000.Case) *caseData {
 	if err != nil {
 		b.Fatal(err)
 	}
-	d := &caseData{res: res, model: model, agg: core.New(model, core.Options{}), path: path}
+	agg := core.New(model, core.Options{})
+	d := &caseData{res: res, model: model, in: agg.Input, agg: agg, path: path}
 	caseCache[c] = d
 	return d
 }
@@ -129,7 +131,7 @@ func benchTable2AggInput(b *testing.B, c grid5000.Case) {
 	d := loadCase(b, c)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		core.New(d.model, core.Options{})
+		core.NewInput(d.model, core.Options{})
 	}
 }
 
@@ -163,7 +165,7 @@ func BenchmarkFig1_CaseA_Overview(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		render.BuildScene(d.agg, pt, render.Options{Width: 1000, Height: 512})
+		render.BuildScene(d.in, pt, render.Options{Width: 1000, Height: 512})
 	}
 }
 
@@ -193,15 +195,16 @@ func BenchmarkFig3_Artificial(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		agg := core.New(m, core.Options{})
-		lo, err := agg.Run(0.25)
+		in := core.NewInput(m, core.Options{})
+		solver := in.NewSolver()
+		lo, err := solver.Run(0.25)
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := agg.Run(0.9); err != nil {
+		if _, err := solver.Run(0.9); err != nil {
 			b.Fatal(err)
 		}
-		render.BuildScene(agg, lo, render.Options{Width: 480, Height: 36, MinHeight: 6})
+		render.BuildScene(in, lo, render.Options{Width: 480, Height: 36, MinHeight: 6})
 	}
 }
 
@@ -216,7 +219,7 @@ func BenchmarkFig4_CaseC_Overview(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		render.BuildScene(d.agg, pt, render.Options{Width: 1000, Height: 700, MinHeight: 2})
+		render.BuildScene(d.in, pt, render.Options{Width: 1000, Height: 700, MinHeight: 2})
 	}
 }
 
@@ -321,6 +324,25 @@ func BenchmarkAblation_SignificantPs(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := agg.SignificantPs(1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSignificantPs tracks the sweep-level cost of the full
+// significant-p exploration — the end-to-end latency an analyst waits for
+// slider stops — with the parallel dichotomy (default workers) and the
+// sequential reference. The parallel/sequential ratio is the refactor's
+// sweep speedup on multi-core.
+func BenchmarkSignificantPs(b *testing.B)            { benchSignificantPs(b, 0) }
+func BenchmarkSignificantPs_Sequential(b *testing.B) { benchSignificantPs(b, 1) }
+
+func benchSignificantPs(b *testing.B, workers int) {
+	m := scalingModel(b, 96, 40)
+	in := core.NewInput(m, core.Options{Workers: workers})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SignificantPs(1e-3); err != nil {
 			b.Fatal(err)
 		}
 	}

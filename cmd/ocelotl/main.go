@@ -58,10 +58,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	agg := core.New(m, core.Options{Normalize: *normalize})
+	in := core.NewInput(m, core.Options{Normalize: *normalize})
 
 	if *listP {
-		points, err := agg.SignificantPs(1e-3)
+		points, err := in.SignificantPs(1e-3)
 		if err != nil {
 			fatal(err)
 		}
@@ -72,7 +72,7 @@ func main() {
 		return
 	}
 
-	pt, err := runMode(m, agg, *mode, *p)
+	pt, err := runMode(m, in, *mode, *p)
 	if err != nil {
 		fatal(err)
 	}
@@ -96,14 +96,14 @@ func main() {
 	}
 	switch *format {
 	case "report":
-		rep := analysis.Describe(agg, pt, 2)
+		rep := analysis.Describe(in, pt, 2)
 		fmt.Fprint(w, rep.Format(m.States))
 	case "svg":
-		err = render.BuildScene(agg, pt, opt).SVG(w)
+		err = render.BuildScene(in, pt, opt).SVG(w)
 	case "png":
-		err = render.BuildScene(agg, pt, opt).PNG(w)
+		err = render.BuildScene(in, pt, opt).PNG(w)
 	case "ascii":
-		fmt.Fprint(w, render.BuildScene(agg, pt, opt).ASCII(0, 0))
+		fmt.Fprint(w, render.BuildScene(in, pt, opt).ASCII(0, 0))
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}
@@ -147,16 +147,16 @@ func loadModel(tracePath, caseName string, scale float64, seed int64, slices int
 	}
 }
 
-func runMode(m *microscopic.Model, agg *core.Aggregator, mode string, p float64) (*partition.Partition, error) {
+func runMode(m *microscopic.Model, in *core.Input, mode string, p float64) (*partition.Partition, error) {
 	switch mode {
 	case "st":
-		return agg.Run(p)
+		return in.NewSolver().Run(p)
 	case "spatial":
 		return spatial.New(m).Run(p)
 	case "temporal":
 		return temporal.New(m).Run(p)
 	case "product":
-		return product.New(m).Evaluate(agg, p)
+		return product.New(m).Evaluate(in, p)
 	default:
 		return nil, fmt.Errorf("unknown mode %q (want st, spatial, temporal or product)", mode)
 	}

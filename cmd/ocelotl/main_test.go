@@ -75,9 +75,9 @@ func TestRunModeAll(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := core.New(m, core.Options{})
+	in := core.NewInput(m, core.Options{})
 	for _, mode := range []string{"st", "spatial", "temporal", "product"} {
-		pt, err := runMode(m, agg, mode, 0.4)
+		pt, err := runMode(m, in, mode, 0.4)
 		if err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 			continue
@@ -86,7 +86,7 @@ func TestRunModeAll(t *testing.T) {
 			t.Errorf("mode %s: invalid partition: %v", mode, err)
 		}
 	}
-	if _, err := runMode(m, agg, "bogus", 0.4); err == nil {
+	if _, err := runMode(m, in, "bogus", 0.4); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -10,6 +10,5 @@
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation; the
 // library lives under internal/ and the executables under cmd/. See
-// README.md for the tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for paper-versus-measured results.
+// README.md for the package tour and quickstart.
 package ocelotl

@@ -57,12 +57,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	agg := core.New(model, core.Options{})
-	pt, err := agg.Run(0.2)
+	in := core.NewInput(model, core.Options{})
+	pt, err := in.NewSolver().Run(0.2)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep := analysis.Describe(agg, pt, 2)
+	rep := analysis.Describe(in, pt, 2)
 	fmt.Print(rep.Format(model.States))
 
 	// Score the detection against the injected contention window.
@@ -94,7 +94,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := render.BuildScene(agg, pt, render.Options{Width: 1000, Height: 512}).SVG(f); err != nil {
+		if err := render.BuildScene(in, pt, render.Options{Width: 1000, Height: 512}).SVG(f); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("overview written to", *out)

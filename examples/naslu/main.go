@@ -38,15 +38,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	agg := core.New(model, core.Options{})
-	pt, err := agg.Run(0.35)
+	in := core.NewInput(model, core.Options{})
+	pt, err := in.NewSolver().Run(0.35)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	// Per-cluster reading (the Fig. 4 narrative).
 	fmt.Printf("\npartition: %d areas\n", pt.NumAreas())
-	for _, cs := range analysis.SummarizeClusters(agg, pt, 2) {
+	for _, cs := range analysis.SummarizeClusters(in, pt, 2) {
 		name := strings.TrimPrefix(cs.Path, "nancy/")
 		shape := "spatially merged"
 		if !cs.SpatiallyMerged {
@@ -89,7 +89,7 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := render.BuildScene(agg, pt, render.Options{Width: 1000, Height: 700, MinHeight: 2}).SVG(f); err != nil {
+		if err := render.BuildScene(in, pt, render.Options{Width: 1000, Height: 700, MinHeight: 2}).SVG(f); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("overview written to", *out)

@@ -36,13 +36,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	agg := core.New(model, core.Options{})
-	rootGain, rootLoss := agg.RootGainLoss()
+	// One immutable input serves every query below; the sweeps solve
+	// many p values concurrently against it.
+	in := core.NewInput(model, core.Options{})
+	rootGain, rootLoss := in.RootGainLoss()
 	fmt.Printf("case %s: %d events, |S|=%d, |T|=%d\n", *caseName, res.Trace.NumEvents(),
 		model.NumResources(), model.NumSlices())
 	fmt.Printf("full aggregation: gain %.1f bits, loss %.1f bits\n\n", rootGain, rootLoss)
 
-	points, err := agg.SignificantPs(1e-3)
+	points, err := in.SignificantPs(1e-3)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,16 +55,19 @@ func main() {
 			q.P, q.Areas, 100*q.Gain/rootGain, 100*safeDiv(q.Loss, rootLoss), q.Gain, q.Loss)
 	}
 
-	// Baseline comparison at three representative stops.
+	// Baseline comparison at three representative stops. The
+	// spatiotemporal column is solved in parallel over the shared input.
 	sa, ta, pa := spatial.New(model), temporal.New(model), product.New(model)
 	fmt.Printf("\nbaseline comparison (pIC at equal p; higher is better):\n")
 	fmt.Printf("%6s %14s %14s %14s %14s\n", "p", "spatiotemporal", "product", "spatial-only", "temporal-only")
-	for _, p := range []float64{0.15, 0.5, 0.85} {
-		st, err := agg.Run(p)
-		if err != nil {
-			log.Fatal(err)
-		}
-		pr, err := pa.Evaluate(agg, p)
+	ps := []float64{0.15, 0.5, 0.85}
+	sts, err := in.SweepRun(ps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, p := range ps {
+		st := sts[i]
+		pr, err := pa.Evaluate(in, p)
 		if err != nil {
 			log.Fatal(err)
 		}

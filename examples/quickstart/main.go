@@ -26,24 +26,26 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. The aggregator precomputes gain/loss for every candidate area;
-	//    each Run is then an independent Algorithm 1 pass.
-	agg := core.New(model, core.Options{})
+	// 3. The input pass precomputes gain/loss for every candidate area;
+	//    each Solver then answers one Algorithm 1 query, and any number
+	//    of them may run concurrently against the shared input.
+	in := core.NewInput(model, core.Options{})
+	solver := in.NewSolver()
 
 	for _, p := range []float64{0.25, 0.9} {
-		pt, err := agg.Run(p)
+		pt, err := solver.Run(p)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("p = %.2f → %d aggregates (gain %.1f bits, loss %.1f bits)\n",
 			p, pt.NumAreas(), pt.Gain, pt.Loss)
-		scene := render.BuildScene(agg, pt, render.Options{Width: 600, Height: 240})
+		scene := render.BuildScene(in, pt, render.Options{Width: 600, Height: 240})
 		fmt.Println(scene.ASCII(12, 60))
 	}
 
 	// 4. The significant p values are the slider stops an analyst
 	//    would explore.
-	points, err := agg.SignificantPs(1e-3)
+	points, err := in.SignificantPs(1e-3)
 	if err != nil {
 		log.Fatal(err)
 	}

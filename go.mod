@@ -1,0 +1,3 @@
+module ocelotl
+
+go 1.24

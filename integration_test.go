@@ -59,7 +59,7 @@ func TestPipelineCaseA(t *testing.T) {
 			t.Errorf("%s: only %d deviators for %d perturbed ranks", name, len(devs), len(gt.Ranks))
 		}
 		// And the rendering must carry every aggregate.
-		scene := render.BuildScene(agg, pt, render.Options{Width: 800, Height: 512})
+		scene := render.BuildScene(agg.Input, pt, render.Options{Width: 800, Height: 512})
 		if scene.DataAggregates+scene.HiddenAggregates != pt.NumAreas() {
 			t.Errorf("%s: scene accounts %d+%d of %d areas", name,
 				scene.DataAggregates, scene.HiddenAggregates, pt.NumAreas())
@@ -137,12 +137,12 @@ func TestAllAlgorithmsOnAllCases(t *testing.T) {
 		if err != nil {
 			t.Fatalf("case %s: %v", c, err)
 		}
-		agg := core.New(m, core.Options{})
-		st, err := agg.Run(0.5)
+		in := core.NewInput(m, core.Options{})
+		st, err := in.NewSolver().Run(0.5)
 		if err != nil {
 			t.Fatalf("case %s st: %v", c, err)
 		}
-		pr, err := product.New(m).Evaluate(agg, 0.5)
+		pr, err := product.New(m).Evaluate(in, 0.5)
 		if err != nil {
 			t.Fatalf("case %s product: %v", c, err)
 		}

@@ -139,8 +139,8 @@ type ClusterSummary struct {
 // SummarizeClusters describes each node at the given hierarchy depth —
 // the per-cluster reading of Fig. 4 (Graphene homogeneous, Graphite
 // separated, Griffon ruptured).
-func SummarizeClusters(agg *core.Aggregator, pt *partition.Partition, depth int) []ClusterSummary {
-	m := agg.Model
+func SummarizeClusters(in *core.Input, pt *partition.Partition, depth int) []ClusterSummary {
+	m := in.Model
 	var out []ClusterSummary
 	for _, n := range m.H.Nodes {
 		if n.Depth != depth || n.IsLeaf() {
@@ -161,7 +161,7 @@ func SummarizeClusters(agg *core.Aggregator, pt *partition.Partition, depth int)
 			}
 		}
 		cs.TemporalCuts = len(cutSet)
-		info := agg.Describe(partition.Area{Node: n, I: 0, J: m.NumSlices() - 1})
+		info := in.Describe(partition.Area{Node: n, I: 0, J: m.NumSlices() - 1})
 		cs.Mode, cs.Alpha = info.Mode, info.Alpha
 		out = append(out, cs)
 	}
@@ -181,12 +181,12 @@ type Report struct {
 // Describe runs the standard §V reading of a partition: phases from the
 // model, per-cluster summaries at the cluster depth, and deviating
 // resources over the whole window.
-func Describe(agg *core.Aggregator, pt *partition.Partition, clusterDepth int) Report {
-	m := agg.Model
+func Describe(in *core.Input, pt *partition.Partition, clusterDepth int) Report {
+	m := in.Model
 	return Report{
 		Phases:     Phases(m),
 		Deviations: DeviatingResources(m, pt, 0, m.NumSlices()-1),
-		Clusters:   SummarizeClusters(agg, pt, clusterDepth),
+		Clusters:   SummarizeClusters(in, pt, clusterDepth),
 		Areas:      pt.NumAreas(),
 		Gain:       pt.Gain,
 		Loss:       pt.Loss,

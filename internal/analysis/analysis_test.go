@@ -53,8 +53,8 @@ func TestPhasesFindInitAndComputation(t *testing.T) {
 
 func TestDeviatingResourcesFindsPerturbedRanks(t *testing.T) {
 	res, m := caseAModel(t)
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.2)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,12 +90,12 @@ func TestSummarizeClustersCaseC(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.35)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.35)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sums := SummarizeClusters(agg, pt, 2)
+	sums := SummarizeClusters(in, pt, 2)
 	if len(sums) != 3 {
 		t.Fatalf("got %d clusters: %+v", len(sums), sums)
 	}
@@ -116,12 +116,12 @@ func TestSummarizeClustersCaseC(t *testing.T) {
 
 func TestDescribeAndFormat(t *testing.T) {
 	_, m := caseAModel(t)
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.3)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := Describe(agg, pt, 2)
+	rep := Describe(in, pt, 2)
 	if rep.Areas != pt.NumAreas() {
 		t.Errorf("report areas = %d", rep.Areas)
 	}
@@ -143,8 +143,8 @@ func TestDeviatingResourcesHomogeneous(t *testing.T) {
 			m.AddD(0, s, ti, 0.5)
 		}
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.5)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

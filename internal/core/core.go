@@ -3,23 +3,28 @@
 // gain/loss trade-off ratio p, a hierarchy-and-order-consistent partition
 // of S×T maximizing the parametrized Information Criterion (Eq. 4).
 //
-// The set of candidate areas A(S×T) = H(S)×I(T) is stored as a tree of
-// upper-triangular matrices: one matrix per hierarchy node, one cell per
-// time interval [i, j]. Building the input (gain and loss of every area,
-// Eqs. 1–3) costs O(|X|·|S|·|T| + |X|·|H(S)|·|T|²) time and O(|H(S)|·|T|²)
-// space; each optimization run (Algorithm 1) costs O(|S|·|T|³) time and is
-// independent of the input pass, which is what gives the paper's
-// "instantaneous interaction" when the analyst slides p.
+// The engine is split along the paper's two phases:
+//
+//   - Input (input.go) is the immutable result of the input pass: the
+//     gain and loss of every candidate area of A(S×T) = H(S)×I(T), stored
+//     as flat arena-backed triangular matrices (one T(T+1)/2-cell triangle
+//     per hierarchy node, addressed through a per-node offset table).
+//     Building it costs O(|X|·|S|·|T| + |X|·|H(S)|·|T|²) time and
+//     O(|H(S)|·|T|²) space; once built it is never written again.
+//
+//   - Solver (solver.go) owns the pIC/cut scratch of one Algorithm 1
+//     query, costing O(|S|·|T|³) time per Run(p). Any number of Solvers
+//     share one Input concurrently, which is what turns the paper's
+//     "instantaneous interaction" into parallel p-sweeps (sweep.go:
+//     SweepRun, SweepQuality, SignificantPs).
+//
+// Aggregator below is a thin compatibility facade bundling an Input with
+// a pool of Solvers; new code should use Input and Solver directly.
 package core
 
 import (
-	"fmt"
-	"math"
-	"runtime"
-	"sort"
 	"sync"
 
-	"ocelotl/internal/hierarchy"
 	"ocelotl/internal/measures"
 	"ocelotl/internal/microscopic"
 	"ocelotl/internal/partition"
@@ -33,475 +38,45 @@ const CutSpatial = int32(-1)
 // rounding-noise tolerance, so ties keep the aggregate as in Algorithm 1.
 func improves(candidate, best float64) bool { return measures.Improves(candidate, best) }
 
-// nodeData carries, for one hierarchy node S_k, the triangular matrices of
-// §III.E "Data Structure" plus the per-state prefix sums used to fill them.
-type nodeData struct {
-	node     *hierarchy.Node
-	children []*nodeData
-	size     int // |S_k|
-
-	// Per-state prefix sums over slices (length |T|+1 each):
-	// prefD[x][t]   = Σ_{t'<t} Σ_{s∈S_k} d_x(s,t')
-	// prefRho[x][t] = Σ_{t'<t} Σ_{s∈S_k} ρ_x(s,t')
-	// prefRL[x][t]  = Σ_{t'<t} Σ_{s∈S_k} ρ_x·log₂ρ_x
-	prefD, prefRho, prefRL [][]float64
-
-	// Triangular matrices over intervals [i,j] (summed over states):
-	gain, loss []float64
-	pic        []float64
-	cut        []int32
-}
-
-// Aggregator holds the precomputed tree of triangular matrices for one
-// microscopic model and answers optimal-partition queries for any p.
-// An Aggregator is not safe for concurrent Run calls (the pIC/cut matrices
-// are reused across runs); build one per goroutine if needed.
+// Aggregator is the original one-struct API, kept as a facade over
+// Input + Solver: it holds the precomputed input for one microscopic
+// model and answers optimal-partition queries for any p. Run is safe for
+// concurrent calls — each call borrows a Solver from an internal pool, so
+// concurrent queries never share pIC/cut scratch.
 type Aggregator struct {
-	Model *microscopic.Model
-	T, X  int
+	*Input
 
-	nodes   []*nodeData // indexed by hierarchy node ID
-	root    *nodeData
-	durPref []float64 // prefix sums of d(t), length |T|+1
-
-	normalize  bool
-	nWorkers   int
-	rootGain   float64 // gain of the full aggregation (for normalization)
-	rootLoss   float64 // loss of the full aggregation
-	lastEffP   float64
-	inputCells int
+	solvers sync.Pool
 }
 
-// Options tunes the aggregator.
-type Options struct {
-	// Normalize rescales gain and loss by their full-aggregation values
-	// before combining them, so that p has a comparable meaning across
-	// traces of different sizes (as the Ocelotl tool does). Internally it
-	// is an exact reparametrization of p; the set of reachable partitions
-	// is unchanged.
-	Normalize bool
-	// Workers bounds the parallelism of the input pass and of Algorithm 1
-	// across independent subtrees: 0 picks GOMAXPROCS, 1 forces the
-	// sequential paths. Results are bit-identical for any worker count —
-	// each node's matrices depend only on its own prefix sums (input
-	// pass) and on its children's completed matrices (optimization), so
-	// the decomposition has no shared mutable state.
-	Workers int
-}
-
-// workers resolves the effective parallelism.
-func (o Options) workers() int {
-	if o.Workers > 0 {
-		return o.Workers
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// New builds the aggregator: per-node prefix sums and the gain/loss
-// triangular matrices for every area of A(S×T).
+// New builds the aggregator: the immutable Input (per-node prefix sums and
+// the gain/loss triangular matrices for every area of A(S×T)) plus a
+// solver pool for queries.
 func New(m *microscopic.Model, opt Options) *Aggregator {
-	T, X := m.NumSlices(), m.NumStates()
-	a := &Aggregator{
-		Model:     m,
-		T:         T,
-		X:         X,
-		nodes:     make([]*nodeData, m.H.NumNodes()),
-		normalize: opt.Normalize,
-		nWorkers:  opt.workers(),
-	}
-	a.durPref = make([]float64, T+1)
-	for t := 0; t < T; t++ {
-		a.durPref[t+1] = a.durPref[t] + m.SliceDur[t]
-	}
-	a.root = a.build(m.H.Root)
-	a.fillMatrices()
-	if a.root != nil {
-		idx := a.triIndex(0, T-1)
-		a.rootGain, a.rootLoss = a.root.gain[idx], a.root.loss[idx]
-	}
+	in := NewInput(m, opt)
+	a := &Aggregator{Input: in}
+	a.solvers.New = func() any { return in.NewSolver() }
 	return a
 }
 
-// fillMatrices computes every node's gain/loss triangular matrices from
-// the prefix sums. Nodes are independent here, so the O(|X|·|H(S)|·|T|²)
-// work is spread over the worker pool.
-func (a *Aggregator) fillMatrices() {
-	fill := func(nd *nodeData) {
-		for i := 0; i < a.T; i++ {
-			for j := i; j < a.T; j++ {
-				idx := a.triIndex(i, j)
-				nd.gain[idx], nd.loss[idx] = a.areaGainLoss(nd, i, j)
-			}
-		}
-	}
-	if a.nWorkers <= 1 || len(a.nodes) < 2 {
-		for _, nd := range a.nodes {
-			fill(nd)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	next := make(chan *nodeData)
-	for w := 0; w < a.nWorkers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for nd := range next {
-				fill(nd)
-			}
-		}()
-	}
-	for _, nd := range a.nodes {
-		next <- nd
-	}
-	close(next)
-	wg.Wait()
-}
-
-// build recursively constructs nodeData bottom-up.
-func (a *Aggregator) build(n *hierarchy.Node) *nodeData {
-	T, X := a.T, a.X
-	nd := &nodeData{node: n, size: n.Size()}
-	a.nodes[n.ID] = nd
-	nd.prefD = make([][]float64, X)
-	nd.prefRho = make([][]float64, X)
-	nd.prefRL = make([][]float64, X)
-	for x := 0; x < X; x++ {
-		nd.prefD[x] = make([]float64, T+1)
-		nd.prefRho[x] = make([]float64, T+1)
-		nd.prefRL[x] = make([]float64, T+1)
-	}
-	if n.IsLeaf() {
-		s := n.Lo
-		for x := 0; x < X; x++ {
-			row := a.Model.StateRow(x)
-			pd, pr, pl := nd.prefD[x], nd.prefRho[x], nd.prefRL[x]
-			for t := 0; t < T; t++ {
-				d := row[s*T+t]
-				rho := 0.0
-				if sd := a.Model.SliceDur[t]; sd > 0 {
-					rho = d / sd
-				}
-				pd[t+1] = pd[t] + d
-				pr[t+1] = pr[t] + rho
-				pl[t+1] = pl[t] + measures.PLogP(rho)
-			}
-		}
-	} else {
-		nd.children = make([]*nodeData, len(n.Children))
-		for ci, c := range n.Children {
-			nd.children[ci] = a.build(c)
-		}
-		for x := 0; x < X; x++ {
-			pd, pr, pl := nd.prefD[x], nd.prefRho[x], nd.prefRL[x]
-			for _, c := range nd.children {
-				cd, cr, cl := c.prefD[x], c.prefRho[x], c.prefRL[x]
-				for t := 1; t <= T; t++ {
-					pd[t] += cd[t]
-					pr[t] += cr[t]
-					pl[t] += cl[t]
-				}
-			}
-		}
-	}
-	// Allocate the triangular matrices; fillMatrices computes them.
-	cells := T * (T + 1) / 2
-	nd.gain = make([]float64, cells)
-	nd.loss = make([]float64, cells)
-	nd.pic = make([]float64, cells)
-	nd.cut = make([]int32, cells)
-	a.inputCells += cells
-	return nd
-}
-
-// areaGainLoss computes (Σ_x gain_x, Σ_x loss_x) of the area
-// (nd.node, T_(i,j)) from the prefix sums, applying Eqs. 1–3.
-func (a *Aggregator) areaGainLoss(nd *nodeData, i, j int) (gain, loss float64) {
-	dur := a.durPref[j+1] - a.durPref[i]
-	for x := 0; x < a.X; x++ {
-		sums := measures.AreaSums{
-			SumD:         nd.prefD[x][j+1] - nd.prefD[x][i],
-			SumRho:       nd.prefRho[x][j+1] - nd.prefRho[x][i],
-			SumRhoLogRho: nd.prefRL[x][j+1] - nd.prefRL[x][i],
-			Size:         nd.size,
-			Duration:     dur,
-		}
-		gain += sums.Gain()
-		loss += sums.Loss()
-	}
-	return gain, loss
-}
-
-// triIndex maps interval [i, j] (0 ≤ i ≤ j < |T|) to its flattened
-// upper-triangular cell.
-func (a *Aggregator) triIndex(i, j int) int {
-	return i*a.T - i*(i-1)/2 + (j - i)
-}
-
-// EffectiveP returns the raw trade-off ratio actually fed to Algorithm 1
-// for a user-facing p, i.e. p itself without normalization, and the exact
-// reparametrization p·L/(p·L+(1−p)·G) with it.
-func (a *Aggregator) EffectiveP(p float64) float64 { return a.effectiveP(p) }
-
-// effectiveP maps the user-facing p through the optional normalization:
-// maximizing p·(gain/G) − (1−p)·(loss/L) is identical to maximizing
-// p*·gain − (1−p*)·loss with p* = pL / (pL + (1−p)G).
-func (a *Aggregator) effectiveP(p float64) float64 {
-	if !a.normalize {
-		return p
-	}
-	g, l := a.rootGain, a.rootLoss
-	if g <= 0 || l <= 0 {
-		return p
-	}
-	den := p*l + (1-p)*g
-	if den <= 0 {
-		return p
-	}
-	return p * l / den
-}
-
-// Run executes Algorithm 1 for trade-off ratio p ∈ [0,1] and returns the
-// optimal partition, with its total gain, loss and pIC. Ties are resolved
-// in favor of aggregation (strict improvement is required to cut), exactly
-// as in the paper's pseudocode.
+// Run executes Algorithm 1 for trade-off ratio p ∈ [0,1] on a pooled
+// Solver and returns the optimal partition, with its total gain, loss and
+// pIC.
 func (a *Aggregator) Run(p float64) (*partition.Partition, error) {
-	if p < 0 || p > 1 || math.IsNaN(p) {
-		return nil, fmt.Errorf("core: p = %v out of [0,1]", p)
-	}
-	ep := a.effectiveP(p)
-	a.lastEffP = ep
-	if a.nWorkers > 1 {
-		sem := make(chan struct{}, a.nWorkers)
-		a.computeOptimalParallel(a.root, ep, sem)
-	} else {
-		a.computeOptimal(a.root, ep)
-	}
-	pt := &partition.Partition{P: p}
-	a.recover(a.root, 0, a.T-1, pt)
-	pt.PIC = measures.PIC(ep, pt.Gain, pt.Loss)
-	pt.Sort()
-	return pt, nil
-}
-
-// computeOptimalParallel runs Algorithm 1 with sibling subtrees processed
-// concurrently: a node's triangular iteration only reads its children's
-// completed pIC matrices, so the tree decomposes into independent tasks
-// joined bottom-up. The semaphore caps in-flight goroutines; results are
-// identical to the sequential pass.
-func (a *Aggregator) computeOptimalParallel(nd *nodeData, p float64, sem chan struct{}) {
-	if len(nd.children) > 1 {
-		var wg sync.WaitGroup
-		for _, c := range nd.children {
-			select {
-			case sem <- struct{}{}:
-				wg.Add(1)
-				go func(c *nodeData) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					a.computeOptimalParallel(c, p, sem)
-				}(c)
-			default:
-				// Pool saturated: recurse inline rather than queue.
-				a.computeOptimalParallel(c, p, sem)
-			}
-		}
-		wg.Wait()
-	} else {
-		for _, c := range nd.children {
-			a.computeOptimalParallel(c, p, sem)
-		}
-	}
-	a.iterateCells(nd, p)
-}
-
-// computeOptimal is procedure node.COMPUTEOPTIMALPARTITION(p) of
-// Algorithm 1: children first (spatial recursion), then the triangular
-// iteration from the last line to the first, evaluating for each cell the
-// "no cut", "spatial cut" and every "temporal cut" alternative.
-func (a *Aggregator) computeOptimal(nd *nodeData, p float64) {
-	for _, c := range nd.children {
-		a.computeOptimal(c, p)
-	}
-	a.iterateCells(nd, p)
-}
-
-// iterateCells is the triangular iteration of Algorithm 1 for one node,
-// assuming every child's pIC matrix is already computed.
-func (a *Aggregator) iterateCells(nd *nodeData, p float64) {
-	T := a.T
-	q := 1 - p
-	for i := T - 1; i >= 0; i-- {
-		base := a.triIndex(i, i)
-		rowPic := nd.pic[base:]
-		for j := i; j < T; j++ {
-			idx := base + (j - i)
-			best := p*nd.gain[idx] - q*nd.loss[idx] // no cut
-			bestCut := int32(j)
-			if len(nd.children) > 0 { // spatial cut?
-				var sum float64
-				for _, c := range nd.children {
-					sum += c.pic[idx]
-				}
-				if improves(sum, best) {
-					best, bestCut = sum, CutSpatial
-				}
-			}
-			for cut := i; cut < j; cut++ { // temporal cut?
-				v := rowPic[cut-i] + nd.pic[a.triIndex(cut+1, j)]
-				if improves(v, best) {
-					best, bestCut = v, int32(cut)
-				}
-			}
-			nd.pic[idx], nd.cut[idx] = best, bestCut
-		}
-	}
-}
-
-// recover walks the sequence of cuts from (node, [i,j]) down to the
-// aggregates of the optimal partition, accumulating gain/loss totals.
-func (a *Aggregator) recover(nd *nodeData, i, j int, pt *partition.Partition) {
-	idx := a.triIndex(i, j)
-	switch c := nd.cut[idx]; {
-	case c == int32(j): // aggregate of the partition
-		pt.Areas = append(pt.Areas, partition.Area{Node: nd.node, I: i, J: j})
-		pt.Gain += nd.gain[idx]
-		pt.Loss += nd.loss[idx]
-	case c == CutSpatial:
-		for _, child := range nd.children {
-			a.recover(child, i, j, pt)
-		}
-	default: // temporal cut at c
-		a.recover(nd, i, int(c), pt)
-		a.recover(nd, int(c)+1, j, pt)
-	}
-}
-
-// AreaInfo describes one area for reporting and rendering: aggregated
-// per-state proportions (Eq. 1), the state mode and its share α (§IV), and
-// the area's information measures.
-type AreaInfo struct {
-	Rho        []float64
-	Mode       int     // index of the dominant state, -1 if area is idle
-	Alpha      float64 // ρ_mode / Σ_x ρ_x ∈ [1/|X|, 1] (0 when idle)
-	Gain, Loss float64
-}
-
-// Describe computes AreaInfo for the area (node, [i, j]). The node must
-// belong to the aggregator's hierarchy.
-func (a *Aggregator) Describe(ar partition.Area) AreaInfo {
-	nd := a.nodes[ar.Node.ID]
-	idx := a.triIndex(ar.I, ar.J)
-	info := AreaInfo{
-		Rho:  make([]float64, a.X),
-		Gain: nd.gain[idx],
-		Loss: nd.loss[idx],
-	}
-	dur := a.durPref[ar.J+1] - a.durPref[ar.I]
-	for x := 0; x < a.X; x++ {
-		sums := measures.AreaSums{
-			SumD:     nd.prefD[x][ar.J+1] - nd.prefD[x][ar.I],
-			Size:     nd.size,
-			Duration: dur,
-		}
-		info.Rho[x] = sums.AggRho()
-	}
-	info.Mode, info.Alpha = measures.Mode(info.Rho)
-	return info
-}
-
-// EvaluateArea returns the (gain, loss) of an arbitrary candidate area,
-// whether or not it belongs to the current optimal partition. The product
-// baseline uses this to score its partitions against the full microscopic
-// model.
-func (a *Aggregator) EvaluateArea(ar partition.Area) (gain, loss float64) {
-	nd := a.nodes[ar.Node.ID]
-	idx := a.triIndex(ar.I, ar.J)
-	return nd.gain[idx], nd.loss[idx]
-}
-
-// EvaluatePartition sums gain/loss/pIC of an arbitrary structure-consistent
-// partition under this model (areas must reference this hierarchy's nodes).
-func (a *Aggregator) EvaluatePartition(pt *partition.Partition, p float64) (gain, loss, pic float64) {
-	for _, ar := range pt.Areas {
-		g, l := a.EvaluateArea(ar)
-		gain += g
-		loss += l
-	}
-	return gain, loss, measures.PIC(a.effectiveP(p), gain, loss)
-}
-
-// RootGainLoss returns the gain and loss of the full aggregation — the
-// normalization constants and the extreme point of the quality curves.
-func (a *Aggregator) RootGainLoss() (gain, loss float64) { return a.rootGain, a.rootLoss }
-
-// InputCells returns the total number of triangular-matrix cells, i.e. the
-// O(|H(S)|·|T|²) space term; exposed for the scaling ablations.
-func (a *Aggregator) InputCells() int { return a.inputCells }
-
-// QualityPoint is one sample of the quality curves: the partition computed
-// at P, its aggregate count and its total gain/loss.
-type QualityPoint struct {
-	P         float64
-	Areas     int
-	Gain      float64
-	Loss      float64
-	Signature string
+	s := a.solvers.Get().(*Solver)
+	defer a.solvers.Put(s)
+	return s.Run(p)
 }
 
 // Quality runs the algorithm at p and summarizes the result.
 func (a *Aggregator) Quality(p float64) (QualityPoint, error) {
-	pt, err := a.Run(p)
-	if err != nil {
-		return QualityPoint{}, err
-	}
-	return QualityPoint{P: p, Areas: pt.NumAreas(), Gain: pt.Gain, Loss: pt.Loss, Signature: pt.Signature()}, nil
-}
-
-// SignificantPs explores [0,1] by dichotomy and returns one QualityPoint
-// per distinct optimal partition, sorted by p (each point carries the
-// smallest sampled p producing that partition). This reproduces Ocelotl's
-// "significant values" slider stops: between two consecutive returned
-// values the optimal partition does not change (up to the eps resolution).
-func (a *Aggregator) SignificantPs(eps float64) ([]QualityPoint, error) {
-	if eps <= 0 {
-		eps = 1e-4
-	}
-	lo, err := a.Quality(0)
-	if err != nil {
-		return nil, err
-	}
-	hi, err := a.Quality(1)
-	if err != nil {
-		return nil, err
-	}
-	points := map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
-	var explore func(l, h QualityPoint)
-	explore = func(l, h QualityPoint) {
-		if l.Signature == h.Signature || h.P-l.P <= eps {
-			return
-		}
-		mid, err := a.Quality((l.P + h.P) / 2)
-		if err != nil {
-			return
-		}
-		if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
-			points[mid.Signature] = mid
-		}
-		explore(l, mid)
-		explore(mid, h)
-	}
-	explore(lo, hi)
-	out := make([]QualityPoint, 0, len(points))
-	for _, q := range points {
-		out = append(out, q)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].P < out[j].P })
-	return out, nil
+	s := a.solvers.Get().(*Solver)
+	defer a.solvers.Put(s)
+	return s.Quality(p)
 }
 
 // Aggregate is the one-call convenience API: build the input structure for
 // the model and return the optimal partition at p.
 func Aggregate(m *microscopic.Model, p float64) (*partition.Partition, error) {
-	return New(m, Options{}).Run(p)
+	return NewInput(m, Options{}).NewSolver().Run(p)
 }

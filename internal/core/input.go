@@ -1,0 +1,330 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"ocelotl/internal/hierarchy"
+	"ocelotl/internal/measures"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/partition"
+)
+
+// nodeMeta carries the per-node hierarchy bookkeeping of §III.E's data
+// structure. The matrices themselves live in the Input's flat arenas.
+type nodeMeta struct {
+	node *hierarchy.Node
+	size int // |S_k|
+
+	// children are child node IDs; childOffs are the children's base
+	// offsets into the matrix arenas, precomputed so the spatial-cut sum
+	// of Algorithm 1 needs no indirection.
+	children  []int32
+	childOffs []int
+}
+
+// Input is the immutable result of the input pass (Eqs. 1–3): every
+// candidate area's gain and loss, plus the per-node prefix sums they were
+// computed from. Building it costs O(|X|·|S|·|T| + |X|·|H(S)|·|T|²); once
+// built it is never mutated, so any number of Solvers (and the read-only
+// query methods below) may share one Input concurrently. This split is
+// what makes the paper's "instantaneous interaction" scale across cores:
+// one input pass serves every p the analyst explores.
+//
+// Storage is arena-backed: each matrix kind is a single flat []float64
+// holding one T(T+1)/2-cell upper triangle per hierarchy node, indexed by
+// the per-node offset table offs. The prefix sums use the same layout with
+// one (|T|+1)-row per (node, state) pair.
+type Input struct {
+	Model *microscopic.Model
+	T, X  int
+
+	meta   []nodeMeta // indexed by hierarchy node ID
+	rootID int
+
+	cells int   // triangle cells per node: T(T+1)/2
+	offs  []int // node ID → base offset into the matrix arenas
+
+	// Triangular-matrix arenas (gain and loss of every area, Eq. 2/3).
+	gain, loss []float64
+
+	// Prefix-sum arenas, row base prefBase(id, x), length |T|+1 each:
+	// prefD[t]   = Σ_{t'<t} Σ_{s∈S_k} d_x(s,t')
+	// prefRho[t] = Σ_{t'<t} Σ_{s∈S_k} ρ_x(s,t')
+	// prefRL[t]  = Σ_{t'<t} Σ_{s∈S_k} ρ_x·log₂ρ_x
+	prefD, prefRho, prefRL []float64
+
+	durPref []float64 // prefix sums of d(t), length |T|+1
+
+	normalize          bool
+	workers            int
+	rootGain, rootLoss float64 // full-aggregation gain/loss (normalization)
+}
+
+// Options tunes the input pass and the solvers derived from it.
+type Options struct {
+	// Normalize rescales gain and loss by their full-aggregation values
+	// before combining them, so that p has a comparable meaning across
+	// traces of different sizes (as the Ocelotl tool does). Internally it
+	// is an exact reparametrization of p; the set of reachable partitions
+	// is unchanged.
+	Normalize bool
+	// Workers bounds the parallelism of the input pass, of Algorithm 1
+	// across independent subtrees, and of the p-sweeps (SweepRun,
+	// SignificantPs): 0 picks GOMAXPROCS, 1 forces the sequential paths.
+	// Results are bit-identical for any worker count — each node's
+	// matrices depend only on its own prefix sums (input pass) and on its
+	// children's completed matrices (optimization), and sweep results are
+	// keyed by p, so no decomposition has shared mutable state.
+	Workers int
+}
+
+// workers resolves the effective parallelism.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// NewInput runs the input pass: per-node prefix sums and the fused
+// gain/loss triangular matrices for every area of A(S×T).
+func NewInput(m *microscopic.Model, opt Options) *Input {
+	T, X := m.NumSlices(), m.NumStates()
+	n := m.H.NumNodes()
+	in := &Input{
+		Model:     m,
+		T:         T,
+		X:         X,
+		meta:      make([]nodeMeta, n),
+		rootID:    m.H.Root.ID,
+		cells:     T * (T + 1) / 2,
+		offs:      make([]int, n),
+		normalize: opt.Normalize,
+		workers:   opt.workers(),
+	}
+	for id := range in.offs {
+		in.offs[id] = id * in.cells
+	}
+	in.gain = make([]float64, n*in.cells)
+	in.loss = make([]float64, n*in.cells)
+	in.prefD = make([]float64, n*X*(T+1))
+	in.prefRho = make([]float64, n*X*(T+1))
+	in.prefRL = make([]float64, n*X*(T+1))
+	in.durPref = make([]float64, T+1)
+	for t := 0; t < T; t++ {
+		in.durPref[t+1] = in.durPref[t] + m.SliceDur[t]
+	}
+	in.build(m.H.Root)
+	in.fillMatrices()
+	if in.cells > 0 {
+		idx := in.offs[in.rootID] + in.triIndex(0, T-1)
+		in.rootGain, in.rootLoss = in.gain[idx], in.loss[idx]
+	}
+	return in
+}
+
+// prefBase returns the base of the (node, state) prefix-sum row.
+func (in *Input) prefBase(id, x int) int { return (id*in.X + x) * (in.T + 1) }
+
+// build recursively fills prefix sums bottom-up.
+func (in *Input) build(n *hierarchy.Node) {
+	T, X := in.T, in.X
+	id := n.ID
+	meta := &in.meta[id]
+	meta.node = n
+	meta.size = n.Size()
+	if n.IsLeaf() {
+		s := n.Lo
+		for x := 0; x < X; x++ {
+			row := in.Model.StateRow(x)
+			base := in.prefBase(id, x)
+			pd := in.prefD[base : base+T+1]
+			pr := in.prefRho[base : base+T+1]
+			pl := in.prefRL[base : base+T+1]
+			for t := 0; t < T; t++ {
+				d := row[s*T+t]
+				rho := 0.0
+				if sd := in.Model.SliceDur[t]; sd > 0 {
+					rho = d / sd
+				}
+				pd[t+1] = pd[t] + d
+				pr[t+1] = pr[t] + rho
+				pl[t+1] = pl[t] + measures.PLogP(rho)
+			}
+		}
+		return
+	}
+	meta.children = make([]int32, len(n.Children))
+	meta.childOffs = make([]int, len(n.Children))
+	for ci, c := range n.Children {
+		in.build(c)
+		meta.children[ci] = int32(c.ID)
+		meta.childOffs[ci] = in.offs[c.ID]
+	}
+	for x := 0; x < X; x++ {
+		base := in.prefBase(id, x)
+		pd := in.prefD[base : base+T+1]
+		pr := in.prefRho[base : base+T+1]
+		pl := in.prefRL[base : base+T+1]
+		for _, cid := range meta.children {
+			cbase := in.prefBase(int(cid), x)
+			cd := in.prefD[cbase : cbase+T+1]
+			cr := in.prefRho[cbase : cbase+T+1]
+			cl := in.prefRL[cbase : cbase+T+1]
+			for t := 1; t <= T; t++ {
+				pd[t] += cd[t]
+				pr[t] += cr[t]
+				pl[t] += cl[t]
+			}
+		}
+	}
+}
+
+// fillMatrices computes every node's gain/loss triangle from the prefix
+// sums. Nodes write disjoint arena regions, so the O(|X|·|H(S)|·|T|²) work
+// is spread over the worker pool.
+func (in *Input) fillMatrices() {
+	fill := func(id int) {
+		off := in.offs[id]
+		for i := 0; i < in.T; i++ {
+			for j := i; j < in.T; j++ {
+				idx := off + in.triIndex(i, j)
+				in.gain[idx], in.loss[idx] = in.areaGainLoss(id, i, j)
+			}
+		}
+	}
+	n := len(in.meta)
+	if in.workers <= 1 || n < 2 {
+		for id := 0; id < n; id++ {
+			fill(id)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < in.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for id := range next {
+				fill(id)
+			}
+		}()
+	}
+	for id := 0; id < n; id++ {
+		next <- id
+	}
+	close(next)
+	wg.Wait()
+}
+
+// areaGainLoss computes (Σ_x gain_x, Σ_x loss_x) of the area
+// (node id, T_(i,j)) from the prefix sums, applying Eqs. 1–3.
+func (in *Input) areaGainLoss(id, i, j int) (gain, loss float64) {
+	dur := in.durPref[j+1] - in.durPref[i]
+	size := in.meta[id].size
+	for x := 0; x < in.X; x++ {
+		base := in.prefBase(id, x)
+		sums := measures.AreaSums{
+			SumD:         in.prefD[base+j+1] - in.prefD[base+i],
+			SumRho:       in.prefRho[base+j+1] - in.prefRho[base+i],
+			SumRhoLogRho: in.prefRL[base+j+1] - in.prefRL[base+i],
+			Size:         size,
+			Duration:     dur,
+		}
+		gain += sums.Gain()
+		loss += sums.Loss()
+	}
+	return gain, loss
+}
+
+// triIndex maps interval [i, j] (0 ≤ i ≤ j < |T|) to its flattened
+// upper-triangular cell, relative to a node's base offset.
+func (in *Input) triIndex(i, j int) int {
+	return i*in.T - i*(i-1)/2 + (j - i)
+}
+
+// EffectiveP returns the raw trade-off ratio actually fed to Algorithm 1
+// for a user-facing p, i.e. p itself without normalization, and the exact
+// reparametrization p·L/(p·L+(1−p)·G) with it.
+func (in *Input) EffectiveP(p float64) float64 { return in.effectiveP(p) }
+
+// effectiveP maps the user-facing p through the optional normalization:
+// maximizing p·(gain/G) − (1−p)·(loss/L) is identical to maximizing
+// p*·gain − (1−p*)·loss with p* = pL / (pL + (1−p)G).
+func (in *Input) effectiveP(p float64) float64 {
+	if !in.normalize {
+		return p
+	}
+	g, l := in.rootGain, in.rootLoss
+	if g <= 0 || l <= 0 {
+		return p
+	}
+	den := p*l + (1-p)*g
+	if den <= 0 {
+		return p
+	}
+	return p * l / den
+}
+
+// AreaInfo describes one area for reporting and rendering: aggregated
+// per-state proportions (Eq. 1), the state mode and its share α (§IV), and
+// the area's information measures.
+type AreaInfo struct {
+	Rho        []float64
+	Mode       int     // index of the dominant state, -1 if area is idle
+	Alpha      float64 // ρ_mode / Σ_x ρ_x ∈ [1/|X|, 1] (0 when idle)
+	Gain, Loss float64
+}
+
+// Describe computes AreaInfo for the area (node, [i, j]). The node must
+// belong to the input's hierarchy.
+func (in *Input) Describe(ar partition.Area) AreaInfo {
+	id := ar.Node.ID
+	idx := in.offs[id] + in.triIndex(ar.I, ar.J)
+	info := AreaInfo{
+		Rho:  make([]float64, in.X),
+		Gain: in.gain[idx],
+		Loss: in.loss[idx],
+	}
+	dur := in.durPref[ar.J+1] - in.durPref[ar.I]
+	for x := 0; x < in.X; x++ {
+		base := in.prefBase(id, x)
+		sums := measures.AreaSums{
+			SumD:     in.prefD[base+ar.J+1] - in.prefD[base+ar.I],
+			Size:     in.meta[id].size,
+			Duration: dur,
+		}
+		info.Rho[x] = sums.AggRho()
+	}
+	info.Mode, info.Alpha = measures.Mode(info.Rho)
+	return info
+}
+
+// EvaluateArea returns the (gain, loss) of an arbitrary candidate area,
+// whether or not it belongs to any optimal partition. The product baseline
+// uses this to score its partitions against the full microscopic model.
+func (in *Input) EvaluateArea(ar partition.Area) (gain, loss float64) {
+	idx := in.offs[ar.Node.ID] + in.triIndex(ar.I, ar.J)
+	return in.gain[idx], in.loss[idx]
+}
+
+// EvaluatePartition sums gain/loss/pIC of an arbitrary structure-consistent
+// partition under this model (areas must reference this hierarchy's nodes).
+func (in *Input) EvaluatePartition(pt *partition.Partition, p float64) (gain, loss, pic float64) {
+	for _, ar := range pt.Areas {
+		g, l := in.EvaluateArea(ar)
+		gain += g
+		loss += l
+	}
+	return gain, loss, measures.PIC(in.effectiveP(p), gain, loss)
+}
+
+// RootGainLoss returns the gain and loss of the full aggregation — the
+// normalization constants and the extreme point of the quality curves.
+func (in *Input) RootGainLoss() (gain, loss float64) { return in.rootGain, in.rootLoss }
+
+// InputCells returns the total number of triangular-matrix cells, i.e. the
+// O(|H(S)|·|T|²) space term; exposed for the scaling ablations.
+func (in *Input) InputCells() int { return len(in.gain) }

@@ -35,13 +35,10 @@ func TestParallelMatchesSequential(t *testing.T) {
 	seq := New(m, Options{Workers: 1})
 	for _, workers := range []int{2, 4, 8, 0} {
 		par := New(m, Options{Workers: workers})
-		// Input matrices bit-identical.
-		for id := range seq.nodes {
-			sn, pn := seq.nodes[id], par.nodes[id]
-			for c := range sn.gain {
-				if sn.gain[c] != pn.gain[c] || sn.loss[c] != pn.loss[c] {
-					t.Fatalf("workers=%d: node %d cell %d differs", workers, id, c)
-				}
+		// Input matrix arenas bit-identical.
+		for c := range seq.gain {
+			if seq.gain[c] != par.gain[c] || seq.loss[c] != par.loss[c] {
+				t.Fatalf("workers=%d: arena cell %d differs", workers, c)
 			}
 		}
 		for _, p := range []float64{0, 0.2, 0.5, 0.8, 1} {

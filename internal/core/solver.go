@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"ocelotl/internal/measures"
+	"ocelotl/internal/partition"
+)
+
+// Solver owns the mutable per-query state of Algorithm 1: the pIC and cut
+// triangular matrices for one optimization run. A Solver only ever reads
+// its Input, so any number of Solvers run concurrently against one shared
+// Input — this is the paper's interactivity model taken to multi-core:
+// build the input once, answer every p in parallel.
+//
+// A single Solver is NOT safe for concurrent use of itself (Run reuses its
+// scratch); create one Solver per in-flight query, or use the Aggregator
+// facade, which pools them.
+type Solver struct {
+	in  *Input
+	pic []float64
+	cut []int32
+
+	// Workers caps Algorithm 1's parallelism across independent sibling
+	// subtrees within this one run (default: the Input's worker setting;
+	// 1 forces the sequential path). Results are bit-identical for any
+	// value. The p-sweeps set this to 1 because cross-query parallelism
+	// already saturates the pool.
+	Workers int
+}
+
+// NewSolver allocates a Solver (the O(|H(S)|·|T|²) pIC/cut scratch) bound
+// to this input.
+func (in *Input) NewSolver() *Solver {
+	return &Solver{
+		in:      in,
+		pic:     make([]float64, len(in.gain)),
+		cut:     make([]int32, len(in.gain)),
+		Workers: in.workers,
+	}
+}
+
+// Run executes Algorithm 1 for trade-off ratio p ∈ [0,1] and returns the
+// optimal partition, with its total gain, loss and pIC. Ties are resolved
+// in favor of aggregation (strict improvement is required to cut), exactly
+// as in the paper's pseudocode.
+func (s *Solver) Run(p float64) (*partition.Partition, error) {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return nil, fmt.Errorf("core: p = %v out of [0,1]", p)
+	}
+	ep := s.in.effectiveP(p)
+	if s.Workers > 1 {
+		sem := make(chan struct{}, s.Workers)
+		s.computeOptimalParallel(s.in.rootID, ep, sem)
+	} else {
+		s.computeOptimal(s.in.rootID, ep)
+	}
+	pt := &partition.Partition{P: p}
+	s.recover(s.in.rootID, 0, s.in.T-1, pt)
+	pt.PIC = measures.PIC(ep, pt.Gain, pt.Loss)
+	pt.Sort()
+	return pt, nil
+}
+
+// Quality runs the algorithm at p and summarizes the result.
+func (s *Solver) Quality(p float64) (QualityPoint, error) {
+	pt, err := s.Run(p)
+	if err != nil {
+		return QualityPoint{}, err
+	}
+	return qualityOf(p, pt), nil
+}
+
+// computeOptimalParallel runs Algorithm 1 with sibling subtrees processed
+// concurrently: a node's triangular iteration only reads its children's
+// completed pIC matrices, so the tree decomposes into independent tasks
+// joined bottom-up. The semaphore caps in-flight goroutines; results are
+// identical to the sequential pass.
+func (s *Solver) computeOptimalParallel(id int, p float64, sem chan struct{}) {
+	children := s.in.meta[id].children
+	if len(children) > 1 {
+		var wg sync.WaitGroup
+		for _, c := range children {
+			select {
+			case sem <- struct{}{}:
+				wg.Add(1)
+				go func(c int32) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					s.computeOptimalParallel(int(c), p, sem)
+				}(c)
+			default:
+				// Pool saturated: recurse inline rather than queue.
+				s.computeOptimalParallel(int(c), p, sem)
+			}
+		}
+		wg.Wait()
+	} else {
+		for _, c := range children {
+			s.computeOptimalParallel(int(c), p, sem)
+		}
+	}
+	s.iterateCells(id, p)
+}
+
+// computeOptimal is procedure node.COMPUTEOPTIMALPARTITION(p) of
+// Algorithm 1: children first (spatial recursion), then the triangular
+// iteration from the last line to the first, evaluating for each cell the
+// "no cut", "spatial cut" and every "temporal cut" alternative.
+func (s *Solver) computeOptimal(id int, p float64) {
+	for _, c := range s.in.meta[id].children {
+		s.computeOptimal(int(c), p)
+	}
+	s.iterateCells(id, p)
+}
+
+// iterateCells is the triangular iteration of Algorithm 1 for one node,
+// assuming every child's pIC matrix is already computed. The temporal-cut
+// scan keeps the right-interval index as a running offset (triIndex is an
+// affine walk along a fixed j), so the inner loop is add-compare only.
+func (s *Solver) iterateCells(id int, p float64) {
+	in := s.in
+	T := in.T
+	q := 1 - p
+	off := in.offs[id]
+	gain := in.gain[off : off+in.cells]
+	loss := in.loss[off : off+in.cells]
+	pic := s.pic[off : off+in.cells]
+	cuts := s.cut[off : off+in.cells]
+	childOffs := in.meta[id].childOffs
+	for i := T - 1; i >= 0; i-- {
+		base := i*T - i*(i-1)/2  // triIndex(i, i)
+		nextBase := base + T - i // triIndex(i+1, i+1)
+		rowPic := pic[base:]
+		for j := i; j < T; j++ {
+			idx := base + (j - i)
+			best := p*gain[idx] - q*loss[idx] // no cut
+			bestCut := int32(j)
+			if len(childOffs) > 0 { // spatial cut?
+				var sum float64
+				for _, co := range childOffs {
+					sum += s.pic[co+idx]
+				}
+				if improves(sum, best) {
+					best, bestCut = sum, CutSpatial
+				}
+			}
+			// Temporal cuts: left part pic[(i,cut)] is rowPic[cut-i];
+			// right part pic[(cut+1,j)] starts at triIndex(i+1, j) =
+			// nextBase + (j-i-1) and advances by T-cut-2 per step of cut.
+			rIdx := nextBase + (j - i - 1)
+			for cut := i; cut < j; cut++ {
+				if v := rowPic[cut-i] + pic[rIdx]; improves(v, best) {
+					best, bestCut = v, int32(cut)
+				}
+				rIdx += T - cut - 2
+			}
+			pic[idx], cuts[idx] = best, bestCut
+		}
+	}
+}
+
+// recover walks the sequence of cuts from (node, [i,j]) down to the
+// aggregates of the optimal partition, accumulating gain/loss totals.
+func (s *Solver) recover(id, i, j int, pt *partition.Partition) {
+	in := s.in
+	idx := in.offs[id] + in.triIndex(i, j)
+	switch c := s.cut[idx]; {
+	case c == int32(j): // aggregate of the partition
+		pt.Areas = append(pt.Areas, partition.Area{Node: in.meta[id].node, I: i, J: j})
+		pt.Gain += in.gain[idx]
+		pt.Loss += in.loss[idx]
+	case c == CutSpatial:
+		for _, child := range in.meta[id].children {
+			s.recover(int(child), i, j, pt)
+		}
+	default: // temporal cut at c
+		s.recover(id, i, int(c), pt)
+		s.recover(id, int(c)+1, j, pt)
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"ocelotl/internal/partition"
+)
+
+// QualityPoint is one sample of the quality curves: the partition computed
+// at P, its aggregate count and its total gain/loss.
+type QualityPoint struct {
+	P         float64
+	Areas     int
+	Gain      float64
+	Loss      float64
+	Signature string
+}
+
+// qualityOf summarizes a solved partition as a quality-curve sample.
+func qualityOf(p float64, pt *partition.Partition) QualityPoint {
+	return QualityPoint{P: p, Areas: pt.NumAreas(), Gain: pt.Gain, Loss: pt.Loss, Signature: pt.Signature()}
+}
+
+// SweepRun solves one query per entry of ps concurrently — each on its own
+// Solver against this shared Input — and returns the partitions in input
+// order. Per-run subtree parallelism is disabled inside the sweep because
+// cross-query parallelism already saturates the worker pool; results are
+// bit-identical to solving each p sequentially.
+func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
+	out := make([]*partition.Partition, len(ps))
+	workers := in.workers
+	if workers > len(ps) {
+		workers = len(ps)
+	}
+	if workers <= 1 {
+		s := in.NewSolver()
+		for i, p := range ps {
+			pt, err := s.Run(p)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = pt
+		}
+		return out, nil
+	}
+	errs := make([]error, len(ps))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := in.NewSolver()
+			s.Workers = 1
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ps) {
+					return
+				}
+				out[i], errs[i] = s.Run(ps[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SweepQuality is SweepRun reduced to quality-curve samples.
+func (in *Input) SweepQuality(ps []float64) ([]QualityPoint, error) {
+	pts, err := in.SweepRun(ps)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QualityPoint, len(pts))
+	for i, pt := range pts {
+		out[i] = qualityOf(ps[i], pt)
+	}
+	return out, nil
+}
+
+// SignificantPs explores [0,1] by dichotomy and returns one QualityPoint
+// per distinct optimal partition, sorted by p (each point carries the
+// smallest sampled p producing that partition). This reproduces Ocelotl's
+// "significant values" slider stops: between two consecutive returned
+// values the optimal partition does not change (up to the eps resolution).
+//
+// The two recursive halves of the dichotomy are independent, so with
+// Workers > 1 they are explored concurrently, each query on its own pooled
+// Solver. The sampled p set — and therefore the returned point set — is
+// identical to the sequential exploration's.
+func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
+	if eps <= 0 {
+		eps = 1e-4
+	}
+	if in.workers <= 1 {
+		return in.significantPsSeq(eps)
+	}
+	pool := sync.Pool{New: func() any {
+		s := in.NewSolver()
+		s.Workers = 1
+		return s
+	}}
+	quality := func(p float64) (QualityPoint, error) {
+		s := pool.Get().(*Solver)
+		defer pool.Put(s)
+		return s.Quality(p)
+	}
+	lo, err := quality(0)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := quality(1)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		mu       sync.Mutex
+		points   = map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	sem := make(chan struct{}, in.workers)
+	var explore func(l, h QualityPoint)
+	explore = func(l, h QualityPoint) {
+		if l.Signature == h.Signature || h.P-l.P <= eps {
+			return
+		}
+		mu.Lock()
+		stop := firstErr != nil
+		mu.Unlock()
+		if stop {
+			return
+		}
+		mid, err := quality((l.P + h.P) / 2)
+		mu.Lock()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return
+		}
+		if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
+			points[mid.Signature] = mid
+		}
+		mu.Unlock()
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				explore(l, mid)
+			}()
+		default:
+			// Pool saturated: recurse inline rather than queue.
+			explore(l, mid)
+		}
+		explore(mid, h)
+	}
+	explore(lo, hi)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sortedPoints(points), nil
+}
+
+// significantPsSeq is the Workers == 1 exploration: one Solver, the plain
+// recursive dichotomy of the original algorithm.
+func (in *Input) significantPsSeq(eps float64) ([]QualityPoint, error) {
+	s := in.NewSolver()
+	lo, err := s.Quality(0)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := s.Quality(1)
+	if err != nil {
+		return nil, err
+	}
+	points := map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
+	var firstErr error
+	var explore func(l, h QualityPoint)
+	explore = func(l, h QualityPoint) {
+		if l.Signature == h.Signature || h.P-l.P <= eps || firstErr != nil {
+			return
+		}
+		mid, err := s.Quality((l.P + h.P) / 2)
+		if err != nil {
+			firstErr = err
+			return
+		}
+		if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
+			points[mid.Signature] = mid
+		}
+		explore(l, mid)
+		explore(mid, h)
+	}
+	explore(lo, hi)
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return sortedPoints(points), nil
+}
+
+func sortedPoints(points map[string]QualityPoint) []QualityPoint {
+	out := make([]QualityPoint, 0, len(points))
+	for _, q := range points {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P < out[j].P })
+	return out
+}

@@ -44,15 +44,19 @@ func RunAblation(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	agg := core.New(m, core.Options{})
+	in := core.NewInput(m, core.Options{})
 	pa := product.New(m)
 	cfg.printf("%6s %14s %14s %10s\n", "p", "core pIC", "product pIC", "areas")
-	for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
-		corePt, err := agg.Run(p)
-		if err != nil {
-			return err
-		}
-		prodPt, err := pa.Evaluate(agg, p)
+	// The spatiotemporal curve is sampled concurrently (one solver per p
+	// against the shared input); reporting stays in p order.
+	ps := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	corePts, err := in.SweepRun(ps)
+	if err != nil {
+		return err
+	}
+	for i, p := range ps {
+		corePt := corePts[i]
+		prodPt, err := pa.Evaluate(in, p)
 		if err != nil {
 			return err
 		}
@@ -73,7 +77,7 @@ func RunAblation(cfg Config) error {
 	cfg.printf("   %d intervals in %v\n", tp.NumAreas(), time.Since(start).Round(time.Microsecond))
 
 	cfg.println("\n5. significant-p ladder (slider stops):")
-	points, err := agg.SignificantPs(1e-3)
+	points, err := in.SignificantPs(1e-3)
 	if err != nil {
 		return err
 	}
@@ -92,12 +96,13 @@ func measureScaling(S, T int) (input, run time.Duration, cells int, err error) {
 		return 0, 0, 0, err
 	}
 	start := time.Now()
-	agg := core.New(m, core.Options{})
+	in := core.NewInput(m, core.Options{})
 	input = time.Since(start)
+	solver := in.NewSolver()
 	start = time.Now()
-	if _, err := agg.Run(0.5); err != nil {
+	if _, err := solver.Run(0.5); err != nil {
 		return 0, 0, 0, err
 	}
 	run = time.Since(start)
-	return input, run, agg.InputCells(), nil
+	return input, run, in.InputCells(), nil
 }

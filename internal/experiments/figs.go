@@ -25,14 +25,14 @@ func RunTable1(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.35)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.35)
 	if err != nil {
 		return err
 	}
 	// Check G1: at a tiny vertical budget the scene must not exceed the
 	// entity budget (≤ one rect per threshold band per slice).
-	sc := render.BuildScene(agg, pt, render.Options{Width: 400, Height: 24, MinHeight: 4})
+	sc := render.BuildScene(in, pt, render.Options{Width: 400, Height: 24, MinHeight: 4})
 	budget := (24/4 + 1) * m.NumSlices()
 	g1 := len(sc.Rects) <= budget
 	// Check G4: visual aggregates all marked.
@@ -74,16 +74,16 @@ func RunFig3(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	agg := core.New(m, core.Options{})
+	in := core.NewInput(m, core.Options{})
 
 	// 3.b: the naive fixed partition (3 clusters × 4 five-slice periods).
 	fixed := fixedPartition(m)
-	fg, fl, _ := agg.EvaluatePartition(fixed, 0.5)
+	fg, fl, _ := in.EvaluatePartition(fixed, 0.5)
 	cfg.printf("3.b fixed 3×4 grid:          %3d areas, gain %7.2f, loss %7.2f\n", fixed.NumAreas(), fg, fl)
 
 	// 3.c: product of the two 1-D optima.
 	pa := product.New(m)
-	prodPt, err := pa.Evaluate(agg, 0.5)
+	prodPt, err := pa.Evaluate(in, 0.5)
 	if err != nil {
 		return err
 	}
@@ -95,37 +95,36 @@ func RunFig3(cfg Config) error {
 	// 3.d/3.e: the optimal spatiotemporal partitions at two significant
 	// p values (the paper shows 56 then 15 areas; exact counts depend on
 	// the synthetic data, the ordering is the reproduced shape).
-	points, err := agg.SignificantPs(1e-3)
+	points, err := in.SignificantPs(1e-3)
 	if err != nil {
 		return err
 	}
 	cfg.printf("significant p values: %d distinct partitions\n", len(points))
 	pd, pe := pickFigPs(points)
-	lo, err := agg.Run(pd)
+	// The two sampled granularities are independent queries; solve them
+	// concurrently against the shared input.
+	figPts, err := in.SweepRun([]float64{pd, pe})
 	if err != nil {
 		return err
 	}
-	hi, err := agg.Run(pe)
-	if err != nil {
-		return err
-	}
+	lo, hi := figPts[0], figPts[1]
 	cfg.printf("3.d optimal at p=%.3f:       %3d areas, gain %7.2f, loss %7.2f (paper: 56 areas)\n", pd, lo.NumAreas(), lo.Gain, lo.Loss)
 	cfg.printf("3.e optimal at p=%.3f:       %3d areas, gain %7.2f, loss %7.2f (paper: 15 areas)\n", pe, hi.NumAreas(), hi.Gain, hi.Loss)
-	cg, cl, _ := agg.EvaluatePartition(lo, 0.5)
+	cg, cl, _ := in.EvaluatePartition(lo, 0.5)
 	if cg-cl <= fg-fl {
 		cfg.println("    WARNING: optimal partition does not dominate the fixed grid")
 	}
 
 	// 3.f: visual aggregation of 3.d on a small canvas.
-	sc := render.BuildScene(agg, lo, render.Options{Width: 480, Height: 36, MinHeight: 6})
+	sc := render.BuildScene(in, lo, render.Options{Width: 480, Height: 36, MinHeight: 6})
 	cfg.printf("3.f visual aggregation:      %3d data + %d visual aggregates (paper: 21 + 7)\n",
 		sc.DataAggregates, sc.VisualAggregates)
 
 	// Render 3.d and 3.e as SVGs.
-	if err := writeSVG(agg, lo, cfg.artifact("fig3d.svg"), render.Options{Width: 600, Height: 360}); err != nil {
+	if err := writeSVG(in, lo, cfg.artifact("fig3d.svg"), render.Options{Width: 600, Height: 360}); err != nil {
 		return err
 	}
-	if err := writeSVG(agg, hi, cfg.artifact("fig3e.svg"), render.Options{Width: 600, Height: 360}); err != nil {
+	if err := writeSVG(in, hi, cfg.artifact("fig3e.svg"), render.Options{Width: 600, Height: 360}); err != nil {
 		return err
 	}
 	cfg.printf("artifacts: %s, %s\n", cfg.artifact("fig3d.svg"), cfg.artifact("fig3e.svg"))
@@ -168,13 +167,13 @@ func fixedPartition(m *microscopic.Model) *partition.Partition {
 }
 
 // writeSVG renders the partition to an SVG file.
-func writeSVG(agg *core.Aggregator, pt *partition.Partition, path string, opt render.Options) error {
+func writeSVG(in *core.Input, pt *partition.Partition, path string, opt render.Options) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return render.BuildScene(agg, pt, opt).SVG(f)
+	return render.BuildScene(in, pt, opt).SVG(f)
 }
 
 // runFig1 reproduces Figure 1: the case-A overview with the perturbation
@@ -189,12 +188,12 @@ func RunFig1(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.2)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.2)
 	if err != nil {
 		return err
 	}
-	rep := analysis.Describe(agg, pt, 2)
+	rep := analysis.Describe(in, pt, 2)
 	cfg.printf("%s", rep.Format(m.States))
 	gt := res.Perturbations[0]
 	cfg.printf("\nground truth: %s %0.2fs–%0.2fs affecting %d ranks\n", gt.Kind, gt.Start, gt.End, len(gt.Ranks))
@@ -210,7 +209,7 @@ func RunFig1(cfg Config) error {
 		}
 	}
 	cfg.printf("detected %d deviating resources near the perturbation, %d of them truly perturbed\n", len(devs), hits)
-	if err := writeSVG(agg, pt, cfg.artifact("fig1.svg"), render.Options{Width: 1000, Height: 512}); err != nil {
+	if err := writeSVG(in, pt, cfg.artifact("fig1.svg"), render.Options{Width: 1000, Height: 512}); err != nil {
 		return err
 	}
 	f, err := os.Create(cfg.artifact("fig1.png"))
@@ -218,7 +217,7 @@ func RunFig1(cfg Config) error {
 		return err
 	}
 	defer f.Close()
-	if err := render.BuildScene(agg, pt, render.Options{Width: 1000, Height: 512}).PNG(f); err != nil {
+	if err := render.BuildScene(in, pt, render.Options{Width: 1000, Height: 512}).PNG(f); err != nil {
 		return err
 	}
 	cfg.printf("artifacts: %s, %s\n", cfg.artifact("fig1.svg"), cfg.artifact("fig1.png"))
@@ -268,17 +267,17 @@ func RunFig4(cfg Config) error {
 	if err != nil {
 		return err
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.35)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.35)
 	if err != nil {
 		return err
 	}
-	rep := analysis.Describe(agg, pt, 2)
+	rep := analysis.Describe(in, pt, 2)
 	cfg.printf("%s", rep.Format(m.States))
 	for _, gt := range res.Perturbations {
 		cfg.printf("ground truth: %-18s %6.2fs–%6.2fs affecting %d ranks\n", gt.Kind, gt.Start, gt.End, len(gt.Ranks))
 	}
-	if err := writeSVG(agg, pt, cfg.artifact("fig4.svg"), render.Options{Width: 1000, Height: 700, MinHeight: 2}); err != nil {
+	if err := writeSVG(in, pt, cfg.artifact("fig4.svg"), render.Options{Width: 1000, Height: 700, MinHeight: 2}); err != nil {
 		return err
 	}
 	cfg.printf("artifacts: %s\n", cfg.artifact("fig4.svg"))

@@ -107,8 +107,8 @@ func measureCase(cfg Config, sc grid5000.Scenario) (table2Row, error) {
 	}
 	// Stage 3: aggregation (input matrices + one Algorithm 1 run).
 	row.agg, err = timed(func() error {
-		agg := core.New(m, core.Options{})
-		_, err := agg.Run(0.5)
+		in := core.NewInput(m, core.Options{})
+		_, err := in.NewSolver().Run(0.5)
 		return err
 	})
 	return row, err

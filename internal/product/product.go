@@ -32,7 +32,7 @@ func New(m *microscopic.Model) *Aggregator {
 
 // Run computes P(S) and P(T) independently at ratio p and returns their
 // Cartesian product as a spatiotemporal partition. The partition's Gain,
-// Loss and PIC fields are left zero; use core.Aggregator.EvaluatePartition
+// Loss and PIC fields are left zero; use core.Input.EvaluatePartition
 // (or Evaluate below) to score it against the full microscopic model —
 // scoring is deliberately separated because the product's own 1-D
 // objectives are not comparable to the 2-D criterion.
@@ -57,13 +57,12 @@ func (a *Aggregator) Run(p float64) (*partition.Partition, error) {
 
 // Evaluate runs the product baseline at p and scores the resulting
 // partition with the full microscopic criterion via the provided core
-// aggregator (which must wrap the same model). It returns the scored
-// partition.
-func (a *Aggregator) Evaluate(ca *core.Aggregator, p float64) (*partition.Partition, error) {
+// input (which must wrap the same model). It returns the scored partition.
+func (a *Aggregator) Evaluate(in *core.Input, p float64) (*partition.Partition, error) {
 	pt, err := a.Run(p)
 	if err != nil {
 		return nil, err
 	}
-	pt.Gain, pt.Loss, pt.PIC = ca.EvaluatePartition(pt, p)
+	pt.Gain, pt.Loss, pt.PIC = in.EvaluatePartition(pt, p)
 	return pt, nil
 }

@@ -70,14 +70,14 @@ func TestProductIsCartesian(t *testing.T) {
 func TestCoreDominatesProduct(t *testing.T) {
 	for seed := int64(0); seed < 5; seed++ {
 		m := randomModel(t, seed, 6)
-		ca := core.New(m, core.Options{})
+		ca := core.NewInput(m, core.Options{})
 		pa := New(m)
 		for _, p := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
 			prodPt, err := pa.Evaluate(ca, p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			corePt, err := ca.Run(p)
+			corePt, err := ca.NewSolver().Run(p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -107,14 +107,14 @@ func TestCoreStrictlyBeatsProductOnCrossPattern(t *testing.T) {
 		m.AddD(0, 2, ti, 0.35)
 		m.AddD(0, 3, ti, 0.65)
 	}
-	ca := core.New(m, core.Options{})
+	ca := core.NewInput(m, core.Options{})
 	pa := New(m)
 	p := 0.45
 	prodPt, err := pa.Evaluate(ca, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	corePt, err := ca.Run(p)
+	corePt, err := ca.NewSolver().Run(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestCoreStrictlyBeatsProductOnCrossPattern(t *testing.T) {
 
 func TestEvaluatePopulatesMeasures(t *testing.T) {
 	m := randomModel(t, 7, 4)
-	ca := core.New(m, core.Options{})
+	ca := core.NewInput(m, core.Options{})
 	pt, err := New(m).Evaluate(ca, 0.5)
 	if err != nil {
 		t.Fatal(err)

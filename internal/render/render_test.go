@@ -18,19 +18,19 @@ import (
 )
 
 // artificialScene builds a scene from the Fig. 3 artificial trace.
-func artificialScene(t *testing.T, p float64, opt Options) (*core.Aggregator, *partition.Partition, *Scene) {
+func artificialScene(t *testing.T, p float64, opt Options) (*core.Input, *partition.Partition, *Scene) {
 	t.Helper()
 	tr := mpisim.Artificial()
 	m, err := microscopic.Build(tr, microscopic.Options{Slices: 20})
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(p)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return agg, pt, BuildScene(agg, pt, opt)
+	return in, pt, BuildScene(in, pt, opt)
 }
 
 func TestSceneCoversAllAggregates(t *testing.T) {
@@ -108,7 +108,7 @@ func TestDiagonalVsCrossMarks(t *testing.T) {
 			m.AddD(0, s, ti, 0.5)
 		}
 	}
-	agg := core.New(m, core.Options{})
+	in := core.NewInput(m, core.Options{})
 	// Same temporal partitioning within A → diagonal.
 	same := &partition.Partition{Areas: []partition.Area{
 		{Node: h.ByPath["A/a0"], I: 0, J: 1}, {Node: h.ByPath["A/a0"], I: 2, J: 3},
@@ -119,7 +119,7 @@ func TestDiagonalVsCrossMarks(t *testing.T) {
 	// (2 px) are still too small, so everything folds to the root
 	// (4 px). Within that group A's resources are cut at t=1 but B's
 	// are not → heterogeneous partitionings → a cross mark.
-	scSame := BuildScene(agg, same, Options{Width: 100, Height: 4, MinHeight: 3})
+	scSame := BuildScene(in, same, Options{Width: 100, Height: 4, MinHeight: 3})
 	rootCross := false
 	for _, r := range scSame.Rects {
 		if r.Visual && r.Mark == MarkCross {
@@ -131,7 +131,7 @@ func TestDiagonalVsCrossMarks(t *testing.T) {
 	}
 	// With 8 px height the 2-leaf clusters are tall enough (4 px ≥ 3):
 	// each group is now internally homogeneous → diagonals only.
-	scA := BuildScene(agg, same, Options{Width: 100, Height: 8, MinHeight: 3})
+	scA := BuildScene(in, same, Options{Width: 100, Height: 8, MinHeight: 3})
 	var diag, cross int
 	for _, r := range scA.Rects {
 		switch r.Mark {
@@ -154,7 +154,7 @@ func TestDiagonalVsCrossMarks(t *testing.T) {
 		{Node: h.ByPath["A/a1"], I: 0, J: 3},
 		{Node: h.ByPath["B"], I: 0, J: 3},
 	}}
-	scDiff := BuildScene(agg, diff, Options{Width: 100, Height: 8, MinHeight: 3})
+	scDiff := BuildScene(in, diff, Options{Width: 100, Height: 8, MinHeight: 3})
 	foundCross := false
 	for _, r := range scDiff.Rects {
 		if r.Mark == MarkCross {

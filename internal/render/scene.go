@@ -160,11 +160,12 @@ func DefaultPalette(states []string) []color.RGBA {
 	return out
 }
 
-// BuildScene lays out the partition computed by agg at the given pixel
-// budget, applying §IV's mode/α encoding and visual aggregation.
-func BuildScene(agg *core.Aggregator, pt *partition.Partition, opt Options) *Scene {
+// BuildScene lays out the partition solved against in at the given pixel
+// budget, applying §IV's mode/α encoding and visual aggregation. It only
+// reads the immutable Input, so concurrent scene builds are safe.
+func BuildScene(in *core.Input, pt *partition.Partition, opt Options) *Scene {
 	opt = opt.withDefaults()
-	m := agg.Model
+	m := in.Model
 	nRes, nT := m.NumResources(), m.NumSlices()
 	pxPerLeaf := float64(opt.Height) / float64(nRes)
 	pxPerSlice := float64(opt.Width) / float64(nT)
@@ -182,7 +183,7 @@ func BuildScene(agg *core.Aggregator, pt *partition.Partition, opt Options) *Sce
 	}
 
 	rectFor := func(a partition.Area, visual bool, mark Mark) Rect {
-		info := agg.Describe(a)
+		info := in.Describe(a)
 		r := Rect{
 			X:      float64(a.I) * pxPerSlice,
 			Y:      float64(a.Node.Lo) * pxPerLeaf,

@@ -71,12 +71,12 @@ func TestSceneWithYCbCrPalette(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.4)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc := BuildScene(agg, pt, Options{Palette: YCbCrPalette(m.NumStates(), 170)})
+	sc := BuildScene(in, pt, Options{Palette: YCbCrPalette(m.NumStates(), 170)})
 	for _, r := range sc.Rects {
 		if r.Mode >= 0 && r.Color == (color.RGBA{}) {
 			t.Fatal("palette not applied")
@@ -90,12 +90,12 @@ func TestSVGTooltips(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg := core.New(m, core.Options{})
-	pt, err := agg.Run(0.5)
+	in := core.NewInput(m, core.Options{})
+	pt, err := in.NewSolver().Run(0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	sc := BuildScene(agg, pt, Options{Tooltips: true})
+	sc := BuildScene(in, pt, Options{Tooltips: true})
 	var buf bytes.Buffer
 	if err := sc.SVG(&buf); err != nil {
 		t.Fatal(err)
@@ -108,7 +108,7 @@ func TestSVGTooltips(t *testing.T) {
 		t.Error("tooltips missing state proportions")
 	}
 	// Off by default.
-	plain := BuildScene(agg, pt, Options{})
+	plain := BuildScene(in, pt, Options{})
 	buf.Reset()
 	if err := plain.SVG(&buf); err != nil {
 		t.Fatal(err)
@@ -121,9 +121,9 @@ func TestSVGTooltips(t *testing.T) {
 func TestTooltipTextContents(t *testing.T) {
 	tr := mpisim.Artificial()
 	m, _ := microscopic.Build(tr, microscopic.Options{Slices: 20})
-	agg := core.New(m, core.Options{})
-	pt, _ := agg.Run(0.5)
-	sc := BuildScene(agg, pt, Options{Tooltips: true})
+	in := core.NewInput(m, core.Options{})
+	pt, _ := in.NewSolver().Run(0.5)
+	sc := BuildScene(in, pt, Options{Tooltips: true})
 	txt := tooltipText(sc, sc.Rects[0])
 	if !strings.Contains(txt, sc.Rects[0].Area.String()) {
 		t.Errorf("tooltip %q missing area label", txt)
