@@ -349,6 +349,113 @@ func benchSignificantPs(b *testing.B, workers int) {
 }
 
 // ---------------------------------------------------------------------------
+// Interactive windowing: the cost of moving the analysis window, which the
+// incremental path (microscopic.Reslicer + core.Input.Update) turns from a
+// full input pass into O(changed slices) work. The _Scratch variants
+// measure the status quo ante: rebuild the microscopic model and the whole
+// Input for every window change. The acceptance bar for the incremental
+// engine is ≥ 5× on a 1-slice pan at |T| = 50.
+
+const (
+	windowBenchS = 96  // |S|
+	windowBenchT = 50  // |T|
+	windowBenchW = 200 // trace duration (slices are 4 s wide)
+)
+
+var (
+	windowOnce sync.Once
+	windowTr   *trace.Trace
+	windowR    *microscopic.Reslicer
+	windowIn   *core.Input
+)
+
+func windowCase(b *testing.B) (*trace.Trace, *microscopic.Reslicer, *core.Input) {
+	b.Helper()
+	windowOnce.Do(func() {
+		windowTr = mpisim.ArtificialSized(windowBenchS, windowBenchW)
+		r, err := microscopic.NewReslicer(windowTr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m, err := r.Build(microscopic.Options{Slices: windowBenchT})
+		if err != nil {
+			b.Fatal(err)
+		}
+		windowR, windowIn = r, core.NewInput(m, core.Options{})
+	})
+	return windowTr, windowR, windowIn
+}
+
+// benchWindowPanIncremental ping-pongs the window by ±k slices through the
+// incremental path; each iteration is one complete window change (model +
+// matrices).
+func benchWindowPanIncremental(b *testing.B, k int) {
+	_, _, in := windowCase(b)
+	b.ResetTimer()
+	var err error
+	for i := 0; i < b.N; i++ {
+		d := k
+		if i%2 == 1 {
+			d = -k
+		}
+		if in, err = in.Pan(d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWindowPanScratch rebuilds model and Input from scratch for the same
+// alternating windows.
+func benchWindowPanScratch(b *testing.B, k int) {
+	tr, _, in := windowCase(b)
+	w := in.Model.Slicer.Width()
+	start, end := in.Model.Slicer.Start, in.Model.Slicer.End
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, e := start, end
+		if i%2 == 0 {
+			s, e = start+float64(k)*w, end+float64(k)*w
+		}
+		m, err := microscopic.Build(tr, microscopic.Options{Slices: windowBenchT, Start: s, End: e})
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.NewInput(m, core.Options{})
+	}
+}
+
+func BenchmarkWindowPan_Incremental(b *testing.B)  { benchWindowPanIncremental(b, 1) }
+func BenchmarkWindowPan_Scratch(b *testing.B)      { benchWindowPanScratch(b, 1) }
+func BenchmarkWindowPan8_Incremental(b *testing.B) { benchWindowPanIncremental(b, 8) }
+func BenchmarkWindowPan8_Scratch(b *testing.B)     { benchWindowPanScratch(b, 8) }
+
+// Zooming changes the slice width, so the matrices rebuild either way; the
+// incremental win is the indexed model fill (only events overlapping the
+// new window) instead of a full trace pass.
+func BenchmarkWindowZoom_Incremental(b *testing.B) {
+	_, _, in := windowCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Zoom(10, 19); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowZoom_Scratch(b *testing.B) {
+	tr, _, in := windowCase(b)
+	start, end := in.Model.Slicer.IntervalBounds(10, 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := microscopic.Build(tr, microscopic.Options{Slices: windowBenchT, Start: start, End: end})
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.NewInput(m, core.Options{})
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Trace I/O throughput (the substrate behind Table II's reading column).
 
 func benchIOWrite(b *testing.B, format traceio.Format) {

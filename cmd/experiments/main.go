@@ -26,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, ablation, all")
+		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, ablation, windowing, all")
 		outdir = flag.String("outdir", "out", "directory for rendered artifacts")
 		scale  = flag.Float64("scale", 0.02, "fraction of the paper's event counts to simulate")
 		seed   = flag.Int64("seed", 42, "simulation seed")

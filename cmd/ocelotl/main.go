@@ -6,10 +6,16 @@
 //	ocelotl -case A -p 0.2 -format report
 //	ocelotl -trace run.csv -list-p
 //	ocelotl -case C -mode product -format report
+//	ocelotl -case A -zoom 5:14 -pan 1,1,-3 -format report
 //
 // Modes select the algorithm: "st" (the paper's spatiotemporal algorithm,
 // default), "spatial" and "temporal" (the 1-D baselines), "product" (their
 // Cartesian combination, Fig. 3.c).
+//
+// -zoom/-pan replay a navigation sequence through the incremental window
+// engine (microscopic.Reslicer + core.Input.Update): each step reports its
+// latency and how many slices it reused, and the report/render is produced
+// on the final window.
 package main
 
 import (
@@ -17,6 +23,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
+	"strings"
+	"time"
 
 	"ocelotl/internal/analysis"
 	"ocelotl/internal/core"
@@ -51,14 +60,23 @@ func main() {
 		listP     = flag.Bool("list-p", false, "list the significant p values and exit")
 		from      = flag.Float64("from", 0, "zoom: window start as a fraction of the trace [0,1)")
 		to        = flag.Float64("to", 1, "zoom: window end as a fraction of the trace (0,1]")
+		panSeq    = flag.String("pan", "", "replay comma-separated slice shifts incrementally after -zoom steps (e.g. 1,1,-3)")
+		zoomSeq   = flag.String("zoom", "", "replay comma-separated lo:hi slice-range zooms incrementally (e.g. 10:20,2:7)")
 	)
 	flag.Parse()
 
-	m, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to)
+	replaying := *panSeq != "" || *zoomSeq != ""
+	m, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to, replaying)
 	if err != nil {
 		fatal(err)
 	}
 	in := core.NewInput(m, core.Options{Normalize: *normalize})
+	if replaying {
+		if in, err = replayWindow(os.Stderr, in, *zoomSeq, *panSeq); err != nil {
+			fatal(err)
+		}
+		m = in.Model // the report/render and baseline modes use the final window
+	}
 
 	if *listP {
 		points, err := in.SignificantPs(1e-3)
@@ -112,7 +130,10 @@ func main() {
 	}
 }
 
-func loadModel(tracePath, caseName string, scale float64, seed int64, slices int, from, to float64) (*microscopic.Model, error) {
+// loadModel builds the microscopic model; with indexed set it goes through
+// a microscopic.Reslicer so the model supports incremental -pan/-zoom
+// replay (at the cost of keeping the event index in memory).
+func loadModel(tracePath, caseName string, scale float64, seed int64, slices int, from, to float64, indexed bool) (*microscopic.Model, error) {
 	if from < 0 || to > 1 || from >= to {
 		return nil, fmt.Errorf("bad zoom window [%g,%g): need 0 ≤ from < to ≤ 1", from, to)
 	}
@@ -130,6 +151,13 @@ func loadModel(tracePath, caseName string, scale float64, seed int64, slices int
 			ws, we := r.Window()
 			opt.Start, opt.End = ws+from*(we-ws), ws+to*(we-ws)
 		}
+		if indexed {
+			rs, err := microscopic.NewReslicerStream(r)
+			if err != nil {
+				return nil, err
+			}
+			return rs.Build(opt)
+		}
 		return microscopic.BuildStream(r, opt)
 	case caseName != "":
 		res, err := mpisim.GenerateCase(grid5000.Case(caseName), mpisim.Config{Seed: seed, Scale: scale})
@@ -141,10 +169,77 @@ func loadModel(tracePath, caseName string, scale float64, seed int64, slices int
 			ws, we := res.Trace.Window()
 			opt.Start, opt.End = ws+from*(we-ws), ws+to*(we-ws)
 		}
+		if indexed {
+			rs, err := microscopic.NewReslicer(res.Trace)
+			if err != nil {
+				return nil, err
+			}
+			return rs.Build(opt)
+		}
 		return microscopic.Build(res.Trace, opt)
 	default:
 		return nil, fmt.Errorf("need -trace FILE or -case A|B|C|D (see -help)")
 	}
+}
+
+// replayWindow applies the -zoom steps then the -pan steps through the
+// incremental engine path, reporting each step's window, slice reuse and
+// latency. The partition/rendering then runs on the final window's input.
+func replayWindow(log io.Writer, in *core.Input, zoomSpec, panSpec string) (*core.Input, error) {
+	step := func(label string, fn func() (*core.Input, error)) error {
+		prev := in.Model.Slicer
+		t0 := time.Now()
+		next, err := fn()
+		if err != nil {
+			return fmt.Errorf("replay %s: %w", label, err)
+		}
+		elapsed := time.Since(t0)
+		reused := 0
+		if k, ok := prev.OnGrid(next.Model.Slicer); ok {
+			if w := in.T - abs(k); w > 0 {
+				reused = w
+			}
+		}
+		in = next
+		fmt.Fprintf(log, "replay %-12s window=[%.6g,%.6g) reused %d/%d slices in %v\n",
+			label, in.Model.Slicer.Start, in.Model.Slicer.End, reused, in.T, elapsed)
+		return nil
+	}
+	if zoomSpec != "" {
+		for _, part := range strings.Split(zoomSpec, ",") {
+			lohi := strings.SplitN(part, ":", 2)
+			if len(lohi) != 2 {
+				return nil, fmt.Errorf("bad -zoom step %q (want lo:hi)", part)
+			}
+			lo, err1 := strconv.Atoi(strings.TrimSpace(lohi[0]))
+			hi, err2 := strconv.Atoi(strings.TrimSpace(lohi[1]))
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("bad -zoom step %q (want lo:hi)", part)
+			}
+			if err := step(fmt.Sprintf("zoom %d:%d", lo, hi), func() (*core.Input, error) { return in.Zoom(lo, hi) }); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if panSpec != "" {
+		for _, part := range strings.Split(panSpec, ",") {
+			k, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil {
+				return nil, fmt.Errorf("bad -pan step %q (want an integer slice shift)", part)
+			}
+			if err := step(fmt.Sprintf("pan %+d", k), func() (*core.Input, error) { return in.Pan(k) }); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return in, nil
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 func runMode(m *microscopic.Model, in *core.Input, mode string, p float64) (*partition.Partition, error) {

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"ocelotl/internal/core"
@@ -11,7 +13,7 @@ import (
 )
 
 func TestLoadModelFromCase(t *testing.T) {
-	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1)
+	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -29,7 +31,7 @@ func TestLoadModelFromFile(t *testing.T) {
 	if err := traceio.WriteFile(path, res.Trace); err != nil {
 		t.Fatal(err)
 	}
-	m, err := loadModel(path, "", 0, 0, 15, 0, 1)
+	m, err := loadModel(path, "", 0, 0, 15, 0, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,16 +41,16 @@ func TestLoadModelFromFile(t *testing.T) {
 }
 
 func TestLoadModelErrors(t *testing.T) {
-	if _, err := loadModel("", "", 0, 0, 10, 0, 1); err == nil {
+	if _, err := loadModel("", "", 0, 0, 10, 0, 1, false); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := loadModel("x.bin", "A", 0, 0, 10, 0, 1); err == nil {
+	if _, err := loadModel("x.bin", "A", 0, 0, 10, 0, 1, false); err == nil {
 		t.Error("both sources accepted")
 	}
-	if _, err := loadModel(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 10, 0, 1); err == nil {
+	if _, err := loadModel(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 10, 0, 1, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := loadModel("", "Q", 0.01, 0, 10, 0, 1); err == nil {
+	if _, err := loadModel("", "Q", 0.01, 0, 10, 0, 1, false); err == nil {
 		t.Error("unknown case accepted")
 	}
 }
@@ -56,7 +58,7 @@ func TestLoadModelErrors(t *testing.T) {
 func TestLoadModelZoom(t *testing.T) {
 	// Zooming into the case-A computation phase: the model window must
 	// cover exactly the requested fraction.
-	m, err := loadModel("", "A", 0.005, 1, 10, 0.25, 0.75)
+	m, err := loadModel("", "A", 0.005, 1, 10, 0.25, 0.75, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,14 +66,14 @@ func TestLoadModelZoom(t *testing.T) {
 		t.Errorf("zoom window = [%g,%g), want ≈[2.375,7.125)", m.Slicer.Start, m.Slicer.End)
 	}
 	for _, bad := range [][2]float64{{-0.1, 1}, {0, 1.1}, {0.6, 0.4}, {0.5, 0.5}} {
-		if _, err := loadModel("", "A", 0.005, 1, 10, bad[0], bad[1]); err == nil {
+		if _, err := loadModel("", "A", 0.005, 1, 10, bad[0], bad[1], false); err == nil {
 			t.Errorf("zoom window %v accepted", bad)
 		}
 	}
 }
 
 func TestRunModeAll(t *testing.T) {
-	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1)
+	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,5 +90,75 @@ func TestRunModeAll(t *testing.T) {
 	}
 	if _, err := runMode(m, in, "bogus", 0.4); err == nil {
 		t.Error("unknown mode accepted")
+	}
+}
+
+func TestLoadModelIndexed(t *testing.T) {
+	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reslicer() == nil {
+		t.Fatal("indexed load did not attach a reslicer")
+	}
+	// And the streaming path too.
+	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: 1, EventTarget: 4000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := traceio.WriteFile(path, res.Trace); err != nil {
+		t.Fatal(err)
+	}
+	m, err = loadModel(path, "", 0, 0, 12, 0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Reslicer() == nil {
+		t.Fatal("indexed stream load did not attach a reslicer")
+	}
+}
+
+func TestReplayWindow(t *testing.T) {
+	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := core.NewInput(m, core.Options{})
+	var log bytes.Buffer
+	out, err := replayWindow(&log, in, "2:7,0:9", "1,1,-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == in || out.Model == m {
+		t.Fatal("replay did not move the window")
+	}
+	lines := strings.Count(log.String(), "\n")
+	if lines != 5 {
+		t.Fatalf("replay logged %d steps, want 5:\n%s", lines, log.String())
+	}
+	if !strings.Contains(log.String(), "reused 9/10 slices") {
+		t.Errorf("pan step did not report slice reuse:\n%s", log.String())
+	}
+	// The replayed input answers queries like a fresh one on its window.
+	fresh := core.NewInput(m.Reslicer().BuildAt(out.Model.Slicer), core.Options{})
+	a, err := out.NewSolver().Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fresh.NewSolver().Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Error("replayed input disagrees with a fresh build on the final window")
+	}
+
+	for _, bad := range []struct{ zoom, pan string }{
+		{"2", ""}, {"a:b", ""}, {"", "x"}, {"3:1", ""},
+	} {
+		if _, err := replayWindow(&log, in, bad.zoom, bad.pan); err == nil {
+			t.Errorf("replay accepted zoom=%q pan=%q", bad.zoom, bad.pan)
+		}
 	}
 }

@@ -7,8 +7,18 @@
 // microscopic description, unidimensional baselines, NAS-PB/Grid'5000
 // workload simulation, and the §IV visualization.
 //
+// The engine serves interactive exploration in both of its dimensions:
+// one immutable core.Input answers any number of concurrent p-queries
+// (Solver, SweepRun, the priority-frontier SignificantPs), and window
+// changes are incremental — microscopic.Reslicer keeps a per-resource
+// event index and core.Input.Update rebuilds only what the new slices
+// touch, so a zoom or pan costs O(changed slices), not a fresh input
+// pass.
+//
 // The root package holds the benchmark harness (bench_test.go) that
-// regenerates every table and figure of the paper's evaluation; the
-// library lives under internal/ and the executables under cmd/. See
-// README.md for the package tour and quickstart.
+// regenerates every table and figure of the paper's evaluation, plus the
+// interactive-windowing and scaling families; scripts/bench.sh distills a
+// run into BENCH_core.json for cross-PR comparison. The library lives
+// under internal/ and the executables under cmd/. See README.md for the
+// package tour and quickstart.
 package ocelotl

@@ -16,15 +16,20 @@
 //     query, costing O(|S|·|T|³) time per Run(p). Any number of Solvers
 //     share one Input concurrently, which is what turns the paper's
 //     "instantaneous interaction" into parallel p-sweeps (sweep.go:
-//     SweepRun, SweepQuality, SignificantPs).
+//     SweepRun, SweepQuality, the priority-frontier SignificantPs).
 //
-// Aggregator below is a thin compatibility facade bundling an Input with
-// a pool of Solvers; new code should use Input and Solver directly.
+// Window changes are incremental (update.go): Input.Update — and the
+// Pan/Zoom conveniences over a microscopic.Reslicer-built model — derives
+// the next window's Input from the current one, copying everything the
+// surviving slices pin down and recomputing only the O(Δ·|T|) cells per
+// node that touch new slices, bit-identically to a fresh build.
+//
+// Aggregator below is a thin compatibility facade over an Input (queries
+// run on the Input's solver pool); new code should use Input and Solver
+// directly.
 package core
 
 import (
-	"sync"
-
 	"ocelotl/internal/measures"
 	"ocelotl/internal/microscopic"
 	"ocelotl/internal/partition"
@@ -41,37 +46,32 @@ func improves(candidate, best float64) bool { return measures.Improves(candidate
 // Aggregator is the original one-struct API, kept as a facade over
 // Input + Solver: it holds the precomputed input for one microscopic
 // model and answers optimal-partition queries for any p. Run is safe for
-// concurrent calls — each call borrows a Solver from an internal pool, so
+// concurrent calls — each call borrows a Solver from the Input's pool, so
 // concurrent queries never share pIC/cut scratch.
 type Aggregator struct {
 	*Input
-
-	solvers sync.Pool
 }
 
-// New builds the aggregator: the immutable Input (per-node prefix sums and
-// the gain/loss triangular matrices for every area of A(S×T)) plus a
-// solver pool for queries.
+// New builds the aggregator: the immutable Input (per-node slice rows and
+// the gain/loss triangular matrices for every area of A(S×T)); queries run
+// on the Input's solver pool.
 func New(m *microscopic.Model, opt Options) *Aggregator {
-	in := NewInput(m, opt)
-	a := &Aggregator{Input: in}
-	a.solvers.New = func() any { return in.NewSolver() }
-	return a
+	return &Aggregator{Input: NewInput(m, opt)}
 }
 
 // Run executes Algorithm 1 for trade-off ratio p ∈ [0,1] on a pooled
 // Solver and returns the optimal partition, with its total gain, loss and
 // pIC.
 func (a *Aggregator) Run(p float64) (*partition.Partition, error) {
-	s := a.solvers.Get().(*Solver)
-	defer a.solvers.Put(s)
+	s := a.AcquireSolver()
+	defer a.ReleaseSolver(s)
 	return s.Run(p)
 }
 
 // Quality runs the algorithm at p and summarizes the result.
 func (a *Aggregator) Quality(p float64) (QualityPoint, error) {
-	s := a.solvers.Get().(*Solver)
-	defer a.solvers.Put(s)
+	s := a.AcquireSolver()
+	defer a.ReleaseSolver(s)
 	return s.Quality(p)
 }
 

@@ -24,17 +24,24 @@ type nodeMeta struct {
 }
 
 // Input is the immutable result of the input pass (Eqs. 1–3): every
-// candidate area's gain and loss, plus the per-node prefix sums they were
-// computed from. Building it costs O(|X|·|S|·|T| + |X|·|H(S)|·|T|²); once
-// built it is never mutated, so any number of Solvers (and the read-only
-// query methods below) may share one Input concurrently. This split is
-// what makes the paper's "instantaneous interaction" scale across cores:
-// one input pass serves every p the analyst explores.
+// candidate area's gain and loss, plus the per-node slice rows and prefix
+// sums they were computed from. Building it costs
+// O(|X|·|S|·|T| + |X|·|H(S)|·|T|²); once built it is never mutated, so any
+// number of Solvers (and the read-only query methods below) may share one
+// Input concurrently. This split is what makes the paper's "instantaneous
+// interaction" scale across cores: one input pass serves every p the
+// analyst explores.
 //
 // Storage is arena-backed: each matrix kind is a single flat []float64
 // holding one T(T+1)/2-cell upper triangle per hierarchy node, indexed by
-// the per-node offset table offs. The prefix sums use the same layout with
-// one (|T|+1)-row per (node, state) pair.
+// the per-node offset table offs.
+//
+// Every cell (i, j) is computed as a running sum over the slice-local rows
+// slc* restricted to [i, j], never as a difference of global prefix sums.
+// That makes each cell's float value depend only on the slices it covers —
+// shift-invariant across windows — which is what lets Update reuse the
+// sub-triangle shared with a previous window bit-identically (see
+// update.go).
 type Input struct {
 	Model *microscopic.Model
 	T, X  int
@@ -48,10 +55,16 @@ type Input struct {
 	// Triangular-matrix arenas (gain and loss of every area, Eq. 2/3).
 	gain, loss []float64
 
-	// Prefix-sum arenas, row base prefBase(id, x), length |T|+1 each:
-	// prefD[t]   = Σ_{t'<t} Σ_{s∈S_k} d_x(s,t')
-	// prefRho[t] = Σ_{t'<t} Σ_{s∈S_k} ρ_x(s,t')
-	// prefRL[t]  = Σ_{t'<t} Σ_{s∈S_k} ρ_x·log₂ρ_x
+	// Slice-local arenas, row base slcBase(id, x), length |T| each:
+	// slcD[t]   = Σ_{s∈S_k} d_x(s,t)
+	// slcRho[t] = Σ_{s∈S_k} ρ_x(s,t)
+	// slcRL[t]  = Σ_{s∈S_k} ρ_x·log₂ρ_x
+	// These are the shift-invariant per-slice aggregates the matrices are
+	// summed from, and the unit of reuse on a window change.
+	slcD, slcRho, slcRL []float64
+
+	// Prefix-sum arenas over the slice rows, row base prefBase(id, x),
+	// length |T|+1 each; serve the O(1) range queries of Describe.
 	prefD, prefRho, prefRL []float64
 
 	durPref []float64 // prefix sums of d(t), length |T|+1
@@ -59,6 +72,12 @@ type Input struct {
 	normalize          bool
 	workers            int
 	rootGain, rootLoss float64 // full-aggregation gain/loss (normalization)
+
+	// solvers recycles Solver scratch (the O(|H(S)|·|T|²) pIC/cut arenas)
+	// across queries; used by the sweeps and the Aggregator facade. The
+	// pool is internal concurrency-safe state, not a mutation of the
+	// aggregation results.
+	solvers sync.Pool
 }
 
 // Options tunes the input pass and the solvers derived from it.
@@ -73,7 +92,7 @@ type Options struct {
 	// across independent subtrees, and of the p-sweeps (SweepRun,
 	// SignificantPs): 0 picks GOMAXPROCS, 1 forces the sequential paths.
 	// Results are bit-identical for any worker count — each node's
-	// matrices depend only on its own prefix sums (input pass) and on its
+	// matrices depend only on its own slice rows (input pass) and on its
 	// children's completed matrices (optimization), and sweep results are
 	// keyed by p, so no decomposition has shared mutable state.
 	Workers int
@@ -87,8 +106,8 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// NewInput runs the input pass: per-node prefix sums and the fused
-// gain/loss triangular matrices for every area of A(S×T).
+// NewInput runs the input pass: per-node slice rows, prefix sums and the
+// fused gain/loss triangular matrices for every area of A(S×T).
 func NewInput(m *microscopic.Model, opt Options) *Input {
 	T, X := m.NumSlices(), m.NumStates()
 	n := m.H.NumNodes()
@@ -106,28 +125,53 @@ func NewInput(m *microscopic.Model, opt Options) *Input {
 	for id := range in.offs {
 		in.offs[id] = id * in.cells
 	}
-	in.gain = make([]float64, n*in.cells)
-	in.loss = make([]float64, n*in.cells)
-	in.prefD = make([]float64, n*X*(T+1))
-	in.prefRho = make([]float64, n*X*(T+1))
-	in.prefRL = make([]float64, n*X*(T+1))
-	in.durPref = make([]float64, T+1)
+	in.allocArenas(n)
+	in.initPool()
 	for t := 0; t < T; t++ {
 		in.durPref[t+1] = in.durPref[t] + m.SliceDur[t]
 	}
 	in.build(m.H.Root)
-	in.fillMatrices()
+	in.fillMatrices(nil)
+	in.readRoot()
+	return in
+}
+
+// allocArenas sizes every flat arena for n hierarchy nodes.
+func (in *Input) allocArenas(n int) {
+	T, X := in.T, in.X
+	in.gain = make([]float64, n*in.cells)
+	in.loss = make([]float64, n*in.cells)
+	in.slcD = make([]float64, n*X*T)
+	in.slcRho = make([]float64, n*X*T)
+	in.slcRL = make([]float64, n*X*T)
+	in.prefD = make([]float64, n*X*(T+1))
+	in.prefRho = make([]float64, n*X*(T+1))
+	in.prefRL = make([]float64, n*X*(T+1))
+	in.durPref = make([]float64, T+1)
+}
+
+// initPool arms the solver pool; called by every Input constructor.
+func (in *Input) initPool() {
+	in.solvers.New = func() any { return in.NewSolver() }
+}
+
+// readRoot records the full-aggregation gain/loss (the normalization
+// constants) from the root's widest cell.
+func (in *Input) readRoot() {
 	if in.cells > 0 {
-		idx := in.offs[in.rootID] + in.triIndex(0, T-1)
+		idx := in.offs[in.rootID] + in.triIndex(0, in.T-1)
 		in.rootGain, in.rootLoss = in.gain[idx], in.loss[idx]
 	}
-	return in
 }
 
 // prefBase returns the base of the (node, state) prefix-sum row.
 func (in *Input) prefBase(id, x int) int { return (id*in.X + x) * (in.T + 1) }
 
-// build recursively fills prefix sums bottom-up.
+// slcBase returns the base of the (node, state) slice-local row.
+func (in *Input) slcBase(id, x int) int { return (id*in.X + x) * in.T }
+
+// build recursively fills the slice rows bottom-up (leaves from the model,
+// inner nodes from their children) and derives the prefix sums.
 func (in *Input) build(n *hierarchy.Node) {
 	T, X := in.T, in.X
 	id := n.ID
@@ -137,67 +181,156 @@ func (in *Input) build(n *hierarchy.Node) {
 	if n.IsLeaf() {
 		s := n.Lo
 		for x := 0; x < X; x++ {
-			row := in.Model.StateRow(x)
-			base := in.prefBase(id, x)
-			pd := in.prefD[base : base+T+1]
-			pr := in.prefRho[base : base+T+1]
-			pl := in.prefRL[base : base+T+1]
-			for t := 0; t < T; t++ {
-				d := row[s*T+t]
-				rho := 0.0
-				if sd := in.Model.SliceDur[t]; sd > 0 {
-					rho = d / sd
-				}
-				pd[t+1] = pd[t] + d
-				pr[t+1] = pr[t] + rho
-				pl[t+1] = pl[t] + measures.PLogP(rho)
-			}
+			in.leafSliceRow(id, x, s, 0, T)
 		}
-		return
+	} else {
+		meta.children = make([]int32, len(n.Children))
+		meta.childOffs = make([]int, len(n.Children))
+		for ci, c := range n.Children {
+			in.build(c)
+			meta.children[ci] = int32(c.ID)
+			meta.childOffs[ci] = in.offs[c.ID]
+		}
+		for x := 0; x < X; x++ {
+			in.innerSliceRow(id, x, 0, T)
+		}
 	}
-	meta.children = make([]int32, len(n.Children))
-	meta.childOffs = make([]int, len(n.Children))
-	for ci, c := range n.Children {
-		in.build(c)
-		meta.children[ci] = int32(c.ID)
-		meta.childOffs[ci] = in.offs[c.ID]
+	in.prefixRows(id)
+}
+
+// leafSliceRow fills slices [lo, hi) of leaf id's (state x) slice row from
+// the model's d_x(s, ·) values.
+func (in *Input) leafSliceRow(id, x, s, lo, hi int) {
+	T := in.T
+	row := in.Model.StateRow(x)
+	sb := in.slcBase(id, x)
+	sd := in.slcD[sb : sb+T]
+	sr := in.slcRho[sb : sb+T]
+	sl := in.slcRL[sb : sb+T]
+	for t := lo; t < hi; t++ {
+		d := row[s*T+t]
+		rho := 0.0
+		if w := in.Model.SliceDur[t]; w > 0 {
+			rho = d / w
+		}
+		sd[t], sr[t], sl[t] = d, rho, measures.PLogP(rho)
 	}
-	for x := 0; x < X; x++ {
-		base := in.prefBase(id, x)
-		pd := in.prefD[base : base+T+1]
-		pr := in.prefRho[base : base+T+1]
-		pl := in.prefRL[base : base+T+1]
-		for _, cid := range meta.children {
-			cbase := in.prefBase(int(cid), x)
-			cd := in.prefD[cbase : cbase+T+1]
-			cr := in.prefRho[cbase : cbase+T+1]
-			cl := in.prefRL[cbase : cbase+T+1]
-			for t := 1; t <= T; t++ {
-				pd[t] += cd[t]
-				pr[t] += cr[t]
-				pl[t] += cl[t]
-			}
+}
+
+// innerSliceRow fills slices [lo, hi) of inner node id's (state x) slice
+// row by summing its children's rows in child order.
+func (in *Input) innerSliceRow(id, x, lo, hi int) {
+	T := in.T
+	sb := in.slcBase(id, x)
+	sd := in.slcD[sb : sb+T]
+	sr := in.slcRho[sb : sb+T]
+	sl := in.slcRL[sb : sb+T]
+	for t := lo; t < hi; t++ {
+		sd[t], sr[t], sl[t] = 0, 0, 0
+	}
+	for _, cid := range in.meta[id].children {
+		cb := in.slcBase(int(cid), x)
+		cd := in.slcD[cb : cb+T]
+		cr := in.slcRho[cb : cb+T]
+		cl := in.slcRL[cb : cb+T]
+		for t := lo; t < hi; t++ {
+			sd[t] += cd[t]
+			sr[t] += cr[t]
+			sl[t] += cl[t]
 		}
 	}
 }
 
-// fillMatrices computes every node's gain/loss triangle from the prefix
-// sums. Nodes write disjoint arena regions, so the O(|X|·|H(S)|·|T|²) work
-// is spread over the worker pool.
-func (in *Input) fillMatrices() {
-	fill := func(id int) {
-		off := in.offs[id]
-		for i := 0; i < in.T; i++ {
-			for j := i; j < in.T; j++ {
-				idx := off + in.triIndex(i, j)
-				in.gain[idx], in.loss[idx] = in.areaGainLoss(id, i, j)
+// prefixRows derives node id's prefix sums from its slice rows.
+func (in *Input) prefixRows(id int) {
+	T := in.T
+	for x := 0; x < in.X; x++ {
+		sb := in.slcBase(id, x)
+		pb := in.prefBase(id, x)
+		pd := in.prefD[pb : pb+T+1]
+		pr := in.prefRho[pb : pb+T+1]
+		pl := in.prefRL[pb : pb+T+1]
+		for t := 0; t < T; t++ {
+			pd[t+1] = pd[t] + in.slcD[sb+t]
+			pr[t+1] = pr[t] + in.slcRho[sb+t]
+			pl[t+1] = pl[t] + in.slcRL[sb+t]
+		}
+	}
+}
+
+// rowSums is the per-worker scratch of one triangle row's running
+// per-state sums.
+type rowSums struct {
+	d, rho, rl []float64
+}
+
+func (in *Input) newRowSums() *rowSums {
+	return &rowSums{
+		d:   make([]float64, in.X),
+		rho: make([]float64, in.X),
+		rl:  make([]float64, in.X),
+	}
+}
+
+// fillRow computes the cells (i, j), from ≤ j < |T|, of node id's
+// gain/loss triangle. The per-state sums run from j = i regardless of
+// from, so every cell is a pure function of the slice rows over [i, j]
+// (shift-invariant); cells with j < from are only accumulated over, not
+// evaluated or written — the incremental path has already copied them.
+func (in *Input) fillRow(id, i, from int, sc *rowSums) {
+	T, X := in.T, in.X
+	size := in.meta[id].size
+	for x := 0; x < X; x++ {
+		sc.d[x], sc.rho[x], sc.rl[x] = 0, 0, 0
+	}
+	dur := 0.0
+	sb0 := in.slcBase(id, 0)
+	rowBase := in.offs[id] + in.triIndex(i, i)
+	for j := i; j < T; j++ {
+		dur += in.Model.SliceDur[j]
+		eval := j >= from
+		var gain, loss float64
+		for x := 0; x < X; x++ {
+			sb := sb0 + x*T
+			sc.d[x] += in.slcD[sb+j]
+			sc.rho[x] += in.slcRho[sb+j]
+			sc.rl[x] += in.slcRL[sb+j]
+			if eval {
+				sums := measures.AreaSums{
+					SumD:         sc.d[x],
+					SumRho:       sc.rho[x],
+					SumRhoLogRho: sc.rl[x],
+					Size:         size,
+					Duration:     dur,
+				}
+				gain += sums.Gain()
+				loss += sums.Loss()
+			}
+		}
+		if eval {
+			idx := rowBase + (j - i)
+			in.gain[idx], in.loss[idx] = gain, loss
+		}
+	}
+}
+
+// fillMatrices computes every node's gain/loss triangle from the slice
+// rows. Nodes write disjoint arena regions, so the O(|X|·|H(S)|·|T|²) work
+// is spread over the worker pool. fillNode, when non-nil, overrides the
+// per-node work (the incremental path substitutes its copy-then-fill).
+func (in *Input) fillMatrices(fillNode func(id int, sc *rowSums)) {
+	if fillNode == nil {
+		fillNode = func(id int, sc *rowSums) {
+			for i := 0; i < in.T; i++ {
+				in.fillRow(id, i, i, sc)
 			}
 		}
 	}
 	n := len(in.meta)
 	if in.workers <= 1 || n < 2 {
+		sc := in.newRowSums()
 		for id := 0; id < n; id++ {
-			fill(id)
+			fillNode(id, sc)
 		}
 		return
 	}
@@ -207,8 +340,9 @@ func (in *Input) fillMatrices() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			sc := in.newRowSums()
 			for id := range next {
-				fill(id)
+				fillNode(id, sc)
 			}
 		}()
 	}
@@ -217,26 +351,6 @@ func (in *Input) fillMatrices() {
 	}
 	close(next)
 	wg.Wait()
-}
-
-// areaGainLoss computes (Σ_x gain_x, Σ_x loss_x) of the area
-// (node id, T_(i,j)) from the prefix sums, applying Eqs. 1–3.
-func (in *Input) areaGainLoss(id, i, j int) (gain, loss float64) {
-	dur := in.durPref[j+1] - in.durPref[i]
-	size := in.meta[id].size
-	for x := 0; x < in.X; x++ {
-		base := in.prefBase(id, x)
-		sums := measures.AreaSums{
-			SumD:         in.prefD[base+j+1] - in.prefD[base+i],
-			SumRho:       in.prefRho[base+j+1] - in.prefRho[base+i],
-			SumRhoLogRho: in.prefRL[base+j+1] - in.prefRL[base+i],
-			Size:         size,
-			Duration:     dur,
-		}
-		gain += sums.Gain()
-		loss += sums.Loss()
-	}
-	return gain, loss
 }
 
 // triIndex maps interval [i, j] (0 ≤ i ≤ j < |T|) to its flattened
@@ -328,3 +442,17 @@ func (in *Input) RootGainLoss() (gain, loss float64) { return in.rootGain, in.ro
 // InputCells returns the total number of triangular-matrix cells, i.e. the
 // O(|H(S)|·|T|²) space term; exposed for the scaling ablations.
 func (in *Input) InputCells() int { return len(in.gain) }
+
+// AcquireSolver returns a Solver from the input's pool (allocating one on
+// first use), with Workers reset to the input's default. Callers should
+// ReleaseSolver it when the query is done; the sweeps and the Aggregator
+// facade use this so repeated queries stop reallocating the
+// O(|H(S)|·|T|²) pIC/cut scratch.
+func (in *Input) AcquireSolver() *Solver {
+	s := in.solvers.Get().(*Solver)
+	s.Workers = in.workers
+	return s
+}
+
+// ReleaseSolver returns a Solver obtained from AcquireSolver to the pool.
+func (in *Input) ReleaseSolver(s *Solver) { in.solvers.Put(s) }

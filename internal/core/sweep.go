@@ -1,6 +1,7 @@
 package core
 
 import (
+	"container/heap"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -23,11 +24,11 @@ func qualityOf(p float64, pt *partition.Partition) QualityPoint {
 	return QualityPoint{P: p, Areas: pt.NumAreas(), Gain: pt.Gain, Loss: pt.Loss, Signature: pt.Signature()}
 }
 
-// SweepRun solves one query per entry of ps concurrently — each on its own
-// Solver against this shared Input — and returns the partitions in input
-// order. Per-run subtree parallelism is disabled inside the sweep because
-// cross-query parallelism already saturates the worker pool; results are
-// bit-identical to solving each p sequentially.
+// SweepRun solves one query per entry of ps concurrently — each on a
+// pooled Solver against this shared Input — and returns the partitions in
+// input order. Per-run subtree parallelism is disabled inside the sweep
+// because cross-query parallelism already saturates the worker pool;
+// results are bit-identical to solving each p sequentially.
 func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 	out := make([]*partition.Partition, len(ps))
 	workers := in.workers
@@ -35,7 +36,8 @@ func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 		workers = len(ps)
 	}
 	if workers <= 1 {
-		s := in.NewSolver()
+		s := in.AcquireSolver()
+		defer in.ReleaseSolver(s)
 		for i, p := range ps {
 			pt, err := s.Run(p)
 			if err != nil {
@@ -52,7 +54,8 @@ func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := in.NewSolver()
+			s := in.AcquireSolver()
+			defer in.ReleaseSolver(s)
 			s.Workers = 1
 			for {
 				i := int(next.Add(1)) - 1
@@ -85,16 +88,34 @@ func (in *Input) SweepQuality(ps []float64) ([]QualityPoint, error) {
 	return out, nil
 }
 
+// gapInterval is one unexplored [l, h] stretch of the dichotomy whose
+// endpoints disagree; the frontier orders them widest first.
+type gapInterval struct {
+	l, h QualityPoint
+}
+
+// gapHeap is a max-heap of gapIntervals by gap width h.P−l.P.
+type gapHeap []gapInterval
+
+func (g gapHeap) Len() int           { return len(g) }
+func (g gapHeap) Less(i, j int) bool { return g[i].h.P-g[i].l.P > g[j].h.P-g[j].l.P }
+func (g gapHeap) Swap(i, j int)      { g[i], g[j] = g[j], g[i] }
+func (g *gapHeap) Push(x any)        { *g = append(*g, x.(gapInterval)) }
+func (g *gapHeap) Pop() any          { old := *g; n := len(old); x := old[n-1]; *g = old[:n-1]; return x }
+
 // SignificantPs explores [0,1] by dichotomy and returns one QualityPoint
 // per distinct optimal partition, sorted by p (each point carries the
 // smallest sampled p producing that partition). This reproduces Ocelotl's
 // "significant values" slider stops: between two consecutive returned
 // values the optimal partition does not change (up to the eps resolution).
 //
-// The two recursive halves of the dichotomy are independent, so with
-// Workers > 1 they are explored concurrently, each query on its own pooled
-// Solver. The sampled p set — and therefore the returned point set — is
-// identical to the sequential exploration's.
+// With Workers > 1 the exploration is a priority-ordered frontier: workers
+// always bisect the widest remaining [l, h] gap first, so the big
+// partition changes — the slider stops an analyst sees first — surface
+// before the fine boundary refinements. Which intervals get subdivided
+// depends only on their endpoints' signatures, never on exploration order,
+// so the sampled p set — and therefore the returned point set — is
+// identical to the sequential recursion's.
 func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 	if eps <= 0 {
 		eps = 1e-4
@@ -102,14 +123,10 @@ func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 	if in.workers <= 1 {
 		return in.significantPsSeq(eps)
 	}
-	pool := sync.Pool{New: func() any {
-		s := in.NewSolver()
-		s.Workers = 1
-		return s
-	}}
 	quality := func(p float64) (QualityPoint, error) {
-		s := pool.Get().(*Solver)
-		defer pool.Put(s)
+		s := in.AcquireSolver()
+		defer in.ReleaseSolver(s)
+		s.Workers = 1
 		return s.Quality(p)
 	}
 	lo, err := quality(0)
@@ -122,50 +139,63 @@ func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 	}
 	var (
 		mu       sync.Mutex
-		points   = map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
+		cond     = sync.NewCond(&mu)
+		frontier gapHeap
+		active   int
 		firstErr error
-		wg       sync.WaitGroup
+		points   = map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
 	)
-	sem := make(chan struct{}, in.workers)
-	var explore func(l, h QualityPoint)
-	explore = func(l, h QualityPoint) {
-		if l.Signature == h.Signature || h.P-l.P <= eps {
-			return
-		}
-		mu.Lock()
-		stop := firstErr != nil
-		mu.Unlock()
-		if stop {
-			return
-		}
-		mid, err := quality((l.P + h.P) / 2)
-		mu.Lock()
-		if err != nil {
-			if firstErr == nil {
-				firstErr = err
-			}
-			mu.Unlock()
-			return
-		}
-		if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
-			points[mid.Signature] = mid
-		}
-		mu.Unlock()
-		select {
-		case sem <- struct{}{}:
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				defer func() { <-sem }()
-				explore(l, mid)
-			}()
-		default:
-			// Pool saturated: recurse inline rather than queue.
-			explore(l, mid)
-		}
-		explore(mid, h)
+	expandable := func(l, h QualityPoint) bool {
+		return l.Signature != h.Signature && h.P-l.P > eps
 	}
-	explore(lo, hi)
+	if expandable(lo, hi) {
+		heap.Push(&frontier, gapInterval{lo, hi})
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < in.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				for len(frontier) == 0 && active > 0 && firstErr == nil {
+					cond.Wait()
+				}
+				if len(frontier) == 0 || firstErr != nil {
+					mu.Unlock()
+					cond.Broadcast()
+					return
+				}
+				iv := heap.Pop(&frontier).(gapInterval)
+				active++
+				mu.Unlock()
+
+				mid, err := quality((iv.l.P + iv.h.P) / 2)
+
+				mu.Lock()
+				active--
+				if err != nil {
+					if firstErr == nil {
+						firstErr = err
+					}
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
+					points[mid.Signature] = mid
+				}
+				if expandable(iv.l, mid) {
+					heap.Push(&frontier, gapInterval{iv.l, mid})
+				}
+				if expandable(mid, iv.h) {
+					heap.Push(&frontier, gapInterval{mid, iv.h})
+				}
+				cond.Broadcast()
+				mu.Unlock()
+			}
+		}()
+	}
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
@@ -173,10 +203,11 @@ func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 	return sortedPoints(points), nil
 }
 
-// significantPsSeq is the Workers == 1 exploration: one Solver, the plain
-// recursive dichotomy of the original algorithm.
+// significantPsSeq is the Workers == 1 exploration: one pooled Solver, the
+// plain recursive dichotomy of the original algorithm.
 func (in *Input) significantPsSeq(eps float64) ([]QualityPoint, error) {
-	s := in.NewSolver()
+	s := in.AcquireSolver()
+	defer in.ReleaseSolver(s)
 	lo, err := s.Quality(0)
 	if err != nil {
 		return nil, err

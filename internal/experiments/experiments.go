@@ -46,7 +46,7 @@ func (c Config) artifact(name string) string { return filepath.Join(c.OutDir, na
 
 // Names lists the experiments in canonical order.
 func Names() []string {
-	return []string{"table1", "fig3", "table2", "fig1", "fig2", "fig4", "ablation"}
+	return []string{"table1", "fig3", "table2", "fig1", "fig2", "fig4", "ablation", "windowing"}
 }
 
 // Run dispatches one experiment by name ("all" runs everything).
@@ -59,6 +59,7 @@ func Run(name string, cfg Config) error {
 	fns := map[string]func(Config) error{
 		"table1": RunTable1, "fig3": RunFig3, "table2": RunTable2,
 		"fig1": RunFig1, "fig2": RunFig2, "fig4": RunFig4, "ablation": RunAblation,
+		"windowing": RunWindowing,
 	}
 	if name == "all" {
 		for _, n := range Names() {

@@ -178,7 +178,7 @@ func TestRunDispatch(t *testing.T) {
 
 func TestNamesComplete(t *testing.T) {
 	names := Names()
-	if len(names) != 7 {
+	if len(names) != 8 {
 		t.Fatalf("Names = %v", names)
 	}
 	cfg, _ := quickCfg(t)
@@ -190,5 +190,21 @@ func TestNamesComplete(t *testing.T) {
 		if err := Run(n, cfg); err != nil {
 			t.Errorf("Run(%s): %v", n, err)
 		}
+	}
+}
+
+func TestRunWindowing(t *testing.T) {
+	cfg, buf := quickCfg(t)
+	if err := RunWindowing(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"pan 1", "pan 25", "zoom 10:19", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("windowing report missing %q:\n%s", want, out)
+		}
+	}
+	if regexp.MustCompile(`pan 1 .*NaN`).MatchString(out) {
+		t.Errorf("bad speedup:\n%s", out)
 	}
 }

@@ -26,7 +26,15 @@ type Model struct {
 	SliceDur []float64
 	// dx[x] is a row-major [resource][slice] matrix of d_x(s,t).
 	dx [][]float64
+	// resl is the index this model was produced from, when it came from a
+	// Reslicer; nil for Build/BuildStream/NewEmpty models.
+	resl *Reslicer
 }
+
+// Reslicer returns the event index behind this model, or nil if the model
+// was built without one. Models with a reslicer support the incremental
+// window updates of core.Input.Pan/Zoom.
+func (m *Model) Reslicer() *Reslicer { return m.resl }
 
 // NumStates returns |X|.
 func (m *Model) NumStates() int { return len(m.States) }
@@ -114,13 +122,9 @@ func BuildWithHierarchy(tr *trace.Trace, h *hierarchy.Hierarchy, opt Options) (*
 	}
 	m := NewEmpty(h, sl, tr.States)
 	// Map the trace's resource IDs to hierarchy leaf indices once.
-	r2leaf := make([]int, len(tr.Resources))
-	for i, p := range tr.Resources {
-		li := h.LeafIndex(p)
-		if li < 0 {
-			return nil, fmt.Errorf("microscopic: resource %q not a leaf of the hierarchy", p)
-		}
-		r2leaf[i] = li
+	r2leaf, err := leafMap(h, tr.Resources)
+	if err != nil {
+		return nil, err
 	}
 	for _, e := range tr.Events {
 		if int(e.State) >= len(m.dx) {
@@ -169,13 +173,9 @@ func BuildStream(src EventSource, opt Options) (*Model, error) {
 		return nil, fmt.Errorf("microscopic: %w", err)
 	}
 	m := NewEmpty(h, sl, src.States())
-	r2leaf := make([]int, len(src.Resources()))
-	for i, p := range src.Resources() {
-		li := h.LeafIndex(p)
-		if li < 0 {
-			return nil, fmt.Errorf("microscopic: resource %q not a leaf of the hierarchy", p)
-		}
-		r2leaf[i] = li
+	r2leaf, err := leafMap(h, src.Resources())
+	if err != nil {
+		return nil, err
 	}
 	var ev trace.Event
 	for {

@@ -1,0 +1,343 @@
+package microscopic
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"ocelotl/internal/hierarchy"
+	"ocelotl/internal/timeslice"
+	"ocelotl/internal/trace"
+)
+
+// SliceOverlap describes the slices shared between two models at the same
+// temporal resolution: old slice OldLo+i covers exactly the same time
+// interval — the same boundary floats — as new slice NewLo+i for every
+// 0 ≤ i < W. W = 0 means the windows share nothing reusable.
+type SliceOverlap struct {
+	OldLo, NewLo, W int
+}
+
+// Shared reports whether the overlap carries any reusable slices.
+func (ov SliceOverlap) Shared() bool { return ov.W > 0 }
+
+// Reslicer is the incremental counterpart of Build/BuildStream: it retains
+// a per-resource event index (events sorted by start time, with a running
+// maximum of end times for interval queries) so that a window change fills
+// only the slices that actually changed. A pan that keeps W of |T| slices
+// costs O(events overlapping the |T|−W new slices) instead of a pass over
+// the whole trace; a zoom costs O(events overlapping the new window).
+//
+// The index costs O(events) memory — the price of interactive windowing on
+// an in-memory model. For one-shot analyses, Build/BuildStream remain the
+// cheaper path.
+//
+// A Reslicer is immutable after construction and safe for concurrent use;
+// the Models it produces carry a back-pointer to it (Model.Reslicer), which
+// the core layer's Pan/Zoom helpers use.
+type Reslicer struct {
+	h      *hierarchy.Hierarchy
+	states []string
+	// Observation window of the underlying trace.
+	winStart, winEnd float64
+
+	// Per-leaf event index, struct-of-arrays, sorted by start (stable, so
+	// equal-start events keep their trace order and refills reproduce the
+	// exact same floating-point accumulation order every time).
+	evStart, evEnd [][]float64
+	evState        [][]int32
+	// evMaxEnd[s][i] = max(evEnd[s][0..i]) — nondecreasing, so the set of
+	// events possibly overlapping a window is one binary search on each
+	// side of the sorted-by-start array.
+	evMaxEnd [][]float64
+}
+
+// indexedEvent is the construction-time representation before the index is
+// frozen into struct-of-arrays form.
+type indexedEvent struct {
+	start, end float64
+	state      int32
+}
+
+// NewReslicer indexes an in-memory trace for incremental windowing. The
+// hierarchy is derived from the trace's resource paths, as in Build.
+func NewReslicer(tr *trace.Trace) (*Reslicer, error) {
+	h, err := hierarchy.FromPaths(tr.Resources)
+	if err != nil {
+		return nil, err
+	}
+	start, end := tr.Window()
+	r := emptyReslicer(h, tr.States, start, end)
+	r2leaf, err := leafMap(h, tr.Resources)
+	if err != nil {
+		return nil, err
+	}
+	tmp := make([][]indexedEvent, h.NumLeaves())
+	for _, e := range tr.Events {
+		if err := indexEvent(tmp, r2leaf, len(tr.States), e); err != nil {
+			return nil, err
+		}
+	}
+	r.freeze(tmp)
+	return r, nil
+}
+
+// indexEvent validates one event against the tables and appends it to its
+// leaf's bucket; shared by both constructors so their acceptance rules
+// cannot drift apart.
+func indexEvent(tmp [][]indexedEvent, r2leaf []int, numStates int, e trace.Event) error {
+	if int(e.State) >= numStates || e.State < 0 {
+		return fmt.Errorf("microscopic: event references state %d, table has %d", e.State, numStates)
+	}
+	if int(e.Resource) >= len(r2leaf) || e.Resource < 0 {
+		return fmt.Errorf("microscopic: event references resource %d, table has %d", e.Resource, len(r2leaf))
+	}
+	s := r2leaf[e.Resource]
+	tmp[s] = append(tmp[s], indexedEvent{e.Start, e.End, int32(e.State)})
+	return nil
+}
+
+// NewReslicerStream indexes a streaming source for incremental windowing.
+// Unlike BuildStream this necessarily materializes the (compacted) events:
+// ~20 bytes per event, the memory the incremental path trades for O(Δ)
+// window updates.
+func NewReslicerStream(src EventSource) (*Reslicer, error) {
+	h, err := hierarchy.FromPaths(src.Resources())
+	if err != nil {
+		return nil, err
+	}
+	start, end := src.Window()
+	states := src.States()
+	r := emptyReslicer(h, states, start, end)
+	r2leaf, err := leafMap(h, src.Resources())
+	if err != nil {
+		return nil, err
+	}
+	tmp := make([][]indexedEvent, h.NumLeaves())
+	var ev trace.Event
+	for {
+		if err := src.Next(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return nil, fmt.Errorf("microscopic: reading events: %w", err)
+		}
+		if err := indexEvent(tmp, r2leaf, len(states), ev); err != nil {
+			return nil, err
+		}
+	}
+	r.freeze(tmp)
+	return r, nil
+}
+
+// leafMap maps trace resource IDs to hierarchy leaf indices.
+func leafMap(h *hierarchy.Hierarchy, resources []string) ([]int, error) {
+	r2leaf := make([]int, len(resources))
+	for i, p := range resources {
+		li := h.LeafIndex(p)
+		if li < 0 {
+			return nil, fmt.Errorf("microscopic: resource %q not a leaf of the hierarchy", p)
+		}
+		r2leaf[i] = li
+	}
+	return r2leaf, nil
+}
+
+func emptyReslicer(h *hierarchy.Hierarchy, states []string, start, end float64) *Reslicer {
+	n := h.NumLeaves()
+	return &Reslicer{
+		h:        h,
+		states:   append([]string(nil), states...),
+		winStart: start,
+		winEnd:   end,
+		evStart:  make([][]float64, n),
+		evEnd:    make([][]float64, n),
+		evState:  make([][]int32, n),
+		evMaxEnd: make([][]float64, n),
+	}
+}
+
+// freeze sorts each leaf's events by start and flattens them into the
+// struct-of-arrays index with the running-max-end column.
+func (r *Reslicer) freeze(tmp [][]indexedEvent) {
+	for s, evs := range tmp {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
+		starts := make([]float64, len(evs))
+		ends := make([]float64, len(evs))
+		states := make([]int32, len(evs))
+		maxEnd := make([]float64, len(evs))
+		running := 0.0
+		for i, e := range evs {
+			starts[i], ends[i], states[i] = e.start, e.end, e.state
+			if i == 0 || e.end > running {
+				running = e.end
+			}
+			maxEnd[i] = running
+		}
+		r.evStart[s], r.evEnd[s], r.evState[s], r.evMaxEnd[s] = starts, ends, states, maxEnd
+	}
+}
+
+// Hierarchy returns the platform hierarchy shared by every model this
+// reslicer produces.
+func (r *Reslicer) Hierarchy() *hierarchy.Hierarchy { return r.h }
+
+// States returns the state table.
+func (r *Reslicer) States() []string { return r.states }
+
+// TraceWindow returns the observation window of the indexed trace.
+func (r *Reslicer) TraceWindow() (start, end float64) { return r.winStart, r.winEnd }
+
+// NumEvents returns the number of indexed events.
+func (r *Reslicer) NumEvents() int {
+	n := 0
+	for _, s := range r.evStart {
+		n += len(s)
+	}
+	return n
+}
+
+// Build constructs the initial model, like the package-level Build but
+// from the index, producing a Model bound to this reslicer. The zero
+// Options window means the full trace window.
+func (r *Reslicer) Build(opt Options) (*Model, error) {
+	if opt.Slices <= 0 {
+		opt.Slices = DefaultSlices
+	}
+	start, end := opt.Start, opt.End
+	if start == 0 && end == 0 {
+		start, end = r.winStart, r.winEnd
+	}
+	sl, err := timeslice.New(start, end, opt.Slices)
+	if err != nil {
+		return nil, fmt.Errorf("microscopic: %w", err)
+	}
+	return r.BuildAt(sl), nil
+}
+
+// BuildAt fills a complete model for an exact slicer. Incremental updates
+// and from-scratch builds share this fill path, which is what makes a
+// chain of Shift/Zoom calls bit-identical to one BuildAt on the final
+// slicer (every cell accumulates the same events in the same order).
+func (r *Reslicer) BuildAt(sl timeslice.Slicer) *Model {
+	m := NewEmpty(r.h, sl, r.states)
+	m.resl = r
+	r.fillRange(m, 0, sl.N-1)
+	return m
+}
+
+// Shift pans the model's window by k slices on the same grid, copying the
+// |T|−|k| surviving slice columns and filling only the |k| new ones from
+// the event index. The returned overlap is what core.Input.Update needs to
+// reuse its matrices. Panning past the trace extent is allowed — slices
+// out there are simply empty.
+func (r *Reslicer) Shift(m *Model, k int) (*Model, SliceOverlap) {
+	T := m.Slicer.N
+	nm := NewEmpty(r.h, m.Slicer.Shift(k), r.states)
+	nm.resl = r
+	ov := ShiftOverlap(T, k)
+	if !ov.Shared() {
+		r.fillRange(nm, 0, T-1)
+		return nm, ov
+	}
+	for x := range nm.dx {
+		oldRow, newRow := m.dx[x], nm.dx[x]
+		for s := 0; s < r.h.NumLeaves(); s++ {
+			copy(newRow[s*T+ov.NewLo:s*T+ov.NewLo+ov.W], oldRow[s*T+ov.OldLo:s*T+ov.OldLo+ov.W])
+		}
+	}
+	if k > 0 {
+		r.fillRange(nm, T-k, T-1)
+	} else {
+		r.fillRange(nm, 0, -k-1)
+	}
+	return nm, ov
+}
+
+// ShiftOverlap returns the surviving-slice mapping of a k-slice pan over a
+// |T|-slice window: the overlap Shift reports, exposed so consumers (like
+// core.Input.Update) can re-derive it from two slicers' grid offset.
+func ShiftOverlap(T, k int) SliceOverlap {
+	switch {
+	case k >= T || k <= -T:
+		return SliceOverlap{}
+	case k >= 0:
+		return SliceOverlap{OldLo: k, NewLo: 0, W: T - k}
+	default:
+		return SliceOverlap{OldLo: 0, NewLo: -k, W: T + k}
+	}
+}
+
+// Zoom re-slices the time range covered by slices [lo, hi] of m's window
+// into the same number of slices. Indices outside [0, |T|) address the
+// grid's extrapolation, so Zoom(-|T|/2, |T|+|T|/2-1) is a 2× zoom-out.
+// When the zoomed grid coincides with the old one (hi−lo+1 == |T|), this
+// is exactly a pan and the overlap is reported accordingly; otherwise the
+// slice width changes, nothing is reusable and the window is refilled from
+// the index (O(events overlapping the new window), not a trace pass).
+func (r *Reslicer) Zoom(m *Model, lo, hi int) (*Model, SliceOverlap, error) {
+	T := m.Slicer.N
+	if hi < lo {
+		return nil, SliceOverlap{}, fmt.Errorf("microscopic: zoom range [%d,%d] inverted", lo, hi)
+	}
+	if hi-lo+1 == T { // same width: a pure pan, keep the grid
+		nm, ov := r.Shift(m, lo)
+		return nm, ov, nil
+	}
+	start, end := m.Slicer.IntervalBounds(lo, hi)
+	sl, err := timeslice.New(start, end, T)
+	if err != nil {
+		return nil, SliceOverlap{}, fmt.Errorf("microscopic: %w", err)
+	}
+	return r.BuildAt(sl), SliceOverlap{}, nil
+}
+
+// Window re-slices an arbitrary absolute time window at the model's
+// resolution. No slices are reused (arbitrary windows don't land on the
+// grid); the fill still comes from the index rather than a trace pass.
+func (r *Reslicer) Window(m *Model, start, end float64) (*Model, SliceOverlap, error) {
+	sl, err := timeslice.New(start, end, m.Slicer.N)
+	if err != nil {
+		return nil, SliceOverlap{}, fmt.Errorf("microscopic: %w", err)
+	}
+	return r.BuildAt(sl), SliceOverlap{}, nil
+}
+
+// fillRange accumulates d_x(s,t) for slices lo..hi of m from the event
+// index. Both the full build and every incremental fill funnel through
+// here so that any given cell always sums the same events in the same
+// order — the bit-identity the incremental engine path relies on.
+func (r *Reslicer) fillRange(m *Model, lo, hi int) {
+	T := m.Slicer.N
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > T-1 {
+		hi = T - 1
+	}
+	if hi < lo {
+		return
+	}
+	winLo, _ := m.Slicer.Bounds(lo)
+	_, winHi := m.Slicer.Bounds(hi)
+	for s := range r.evStart {
+		starts, ends, states, maxEnd := r.evStart[s], r.evEnd[s], r.evState[s], r.evMaxEnd[s]
+		// Candidates overlapping [winLo, winHi): start < winHi (prefix of
+		// the sorted array) and end > winLo (suffix of the nondecreasing
+		// running max).
+		i1 := sort.SearchFloat64s(starts, winHi)
+		i0 := sort.Search(i1, func(i int) bool { return maxEnd[i] > winLo })
+		base := s * T
+		for i := i0; i < i1; i++ {
+			if ends[i] <= winLo {
+				continue
+			}
+			row := m.dx[states[i]]
+			m.Slicer.Overlap(starts[i], ends[i], func(t int, sec float64) {
+				if t >= lo && t <= hi {
+					row[base+t] += sec
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package microscopic
+
+import (
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"ocelotl/internal/trace"
+)
+
+// randomTrace builds a trace with overlapping, unsorted events so the
+// index's sorting and interval queries are actually exercised.
+func randomTrace(rng *rand.Rand, nRes, nEv int, winEnd float64) *trace.Trace {
+	paths := make([]string, nRes)
+	for i := range paths {
+		cluster := string(rune('A' + i%3))
+		paths[i] = "c" + cluster + "/r" + string(rune('a'+i))
+	}
+	tr := trace.New(paths, []string{"work", "wait", "io"})
+	tr.Start, tr.End = 0, winEnd
+	for i := 0; i < nEv; i++ {
+		s := trace.ResourceID(rng.Intn(nRes))
+		x := trace.StateID(rng.Intn(3))
+		start := rng.Float64() * winEnd
+		dur := rng.Float64() * winEnd / 7
+		tr.Add(s, x, start, start+dur)
+	}
+	return tr
+}
+
+func modelsBitIdentical(t *testing.T, got, want *Model, label string) {
+	t.Helper()
+	if got.NumSlices() != want.NumSlices() || got.NumStates() != want.NumStates() {
+		t.Fatalf("%s: shape mismatch", label)
+	}
+	for x := 0; x < want.NumStates(); x++ {
+		g, w := got.StateRow(x), want.StateRow(x)
+		for i := range w {
+			if g[i] != w[i] {
+				t.Fatalf("%s: d_%d cell %d: got %v, want %v (diff %g)", label, x, i, g[i], w[i], g[i]-w[i])
+			}
+		}
+	}
+}
+
+// TestReslicerMatchesBuild: a reslicer's full build equals Build within
+// floating-point reordering noise (the index accumulates per resource in
+// start order, Build in trace order).
+func TestReslicerMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tr := randomTrace(rng, 6, 500, 10)
+	want, err := Build(tr, Options{Slices: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Build(Options{Slices: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reslicer() != r {
+		t.Fatal("model not bound to its reslicer")
+	}
+	for x := 0; x < want.NumStates(); x++ {
+		g, w := got.StateRow(x), want.StateRow(x)
+		for i := range w {
+			if math.Abs(g[i]-w[i]) > 1e-9*(1+math.Abs(w[i])) {
+				t.Fatalf("d_%d cell %d: reslicer %v, Build %v", x, i, g[i], w[i])
+			}
+		}
+	}
+}
+
+// TestReslicerStreamMatchesInMemory: both constructors index identically.
+func TestReslicerStreamMatchesInMemory(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tr := randomTrace(rng, 5, 300, 8)
+	r1, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewReslicerStream(&traceSource{tr: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := r1.Build(Options{Slices: 12})
+	m2, _ := r2.Build(Options{Slices: 12})
+	modelsBitIdentical(t, m2, m1, "stream vs in-memory")
+	if r1.NumEvents() != r2.NumEvents() || r1.NumEvents() != tr.NumEvents() {
+		t.Fatalf("event counts: %d, %d, trace %d", r1.NumEvents(), r2.NumEvents(), tr.NumEvents())
+	}
+}
+
+// traceSource adapts an in-memory trace to the EventSource interface.
+type traceSource struct {
+	tr *trace.Trace
+	i  int
+}
+
+func (s *traceSource) Resources() []string { return s.tr.Resources }
+func (s *traceSource) States() []string    { return s.tr.States }
+func (s *traceSource) Window() (float64, float64) {
+	return s.tr.Window()
+}
+func (s *traceSource) Next(ev *trace.Event) error {
+	if s.i >= len(s.tr.Events) {
+		return io.EOF
+	}
+	*ev = s.tr.Events[s.i]
+	s.i++
+	return nil
+}
+
+// TestShiftBitIdenticalToFullFill: after any chain of pans, the model is
+// bit-identical to one full fill at the final slicer — the model-layer half
+// of the incremental-equivalence guarantee.
+func TestShiftBitIdenticalToFullFill(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTrace(rng, 7, 800, 20)
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Build(Options{Slices: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifts := []int{1, -2, 5, 40, -40, 3, -1, -1, 7}
+	for step, k := range shifts {
+		var ov SliceOverlap
+		m, ov = r.Shift(m, k)
+		if want := 15 - abs(k); (want < 0 && ov.W != 0) || (want >= 0 && ov.W != max(0, want)) {
+			t.Fatalf("step %d: Shift(%d) overlap W=%d", step, k, ov.W)
+		}
+		fresh := r.BuildAt(m.Slicer)
+		modelsBitIdentical(t, m, fresh, "after shift chain")
+	}
+}
+
+// TestZoomEquivalence: zooming re-slices exactly the covered range; a
+// full-width zoom degenerates to a pan with full overlap bookkeeping.
+func TestZoomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tr := randomTrace(rng, 6, 600, 12)
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Build(Options{Slices: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zm, ov, err := r.Zoom(m, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Shared() {
+		t.Errorf("narrowing zoom reported overlap %+v", ov)
+	}
+	wantLo, wantHi := m.Slicer.IntervalBounds(3, 8)
+	if zm.Slicer.Start != wantLo || zm.Slicer.End != wantHi {
+		t.Errorf("zoom window [%v,%v), want [%v,%v)", zm.Slicer.Start, zm.Slicer.End, wantLo, wantHi)
+	}
+	modelsBitIdentical(t, zm, r.BuildAt(zm.Slicer), "zoom")
+
+	// Zoom out from the zoomed view, back over a wider range.
+	om, ov, err := r.Zoom(zm, -6, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Shared() {
+		t.Errorf("zoom-out reported overlap %+v", ov)
+	}
+	modelsBitIdentical(t, om, r.BuildAt(om.Slicer), "zoom out")
+
+	// Full-width zoom == pan.
+	pm, ov, err := r.Zoom(m, 2, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ov.Shared() || ov.W != 10 || ov.OldLo != 2 || ov.NewLo != 0 {
+		t.Errorf("full-width zoom overlap %+v, want pan by 2", ov)
+	}
+	sm, _ := r.Shift(m, 2)
+	modelsBitIdentical(t, pm, sm, "full-width zoom vs pan")
+
+	if _, _, err := r.Zoom(m, 5, 4); err == nil {
+		t.Error("inverted zoom range accepted")
+	}
+}
+
+// TestWindowArbitrary: absolute windows come from the index too.
+func TestWindowArbitrary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 5, 400, 10)
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Build(Options{Slices: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, ov, err := r.Window(m, 2.345, 8.901)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov.Shared() {
+		t.Errorf("arbitrary window reported overlap %+v", ov)
+	}
+	modelsBitIdentical(t, wm, r.BuildAt(wm.Slicer), "window")
+	if _, _, err := r.Window(m, 5, 5); err == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+// TestShiftConservesMass: panning must neither invent nor lose event time
+// on the surviving slices, and the total over a window fully containing
+// the trace equals the trace's total busy time.
+func TestShiftConservesMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	tr := randomTrace(rng, 4, 300, 10)
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := r.Build(Options{Slices: 10, Start: -5, End: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := m.TotalTime()
+	var want float64
+	for _, e := range tr.Events {
+		want += e.Duration()
+	}
+	if math.Abs(total-want) > 1e-6*(1+want) {
+		t.Fatalf("total time %v, events sum %v", total, want)
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestReslicerRejectsCorruptEvents: both constructors must error (not
+// panic) on out-of-range state or resource IDs.
+func TestReslicerRejectsCorruptEvents(t *testing.T) {
+	base := func() *trace.Trace {
+		tr := trace.New([]string{"c/a", "c/b"}, []string{"s"})
+		tr.Start, tr.End = 0, 1
+		tr.Add(0, 0, 0, 0.5)
+		return tr
+	}
+	badState := base()
+	badState.Add(1, 7, 0, 1)
+	badRes := base()
+	badRes.Add(9, 0, 0, 1)
+	for name, tr := range map[string]*trace.Trace{"state": badState, "resource": badRes} {
+		if _, err := NewReslicer(tr); err == nil {
+			t.Errorf("NewReslicer accepted corrupt %s", name)
+		}
+		if _, err := NewReslicerStream(&traceSource{tr: tr}); err == nil {
+			t.Errorf("NewReslicerStream accepted corrupt %s", name)
+		}
+	}
+}

@@ -10,12 +10,25 @@ import (
 )
 
 // Slicer divides the window [Start, End) into N equal slices.
+//
+// Slicers built by New (and derived by Shift) are anchored to a grid: an
+// origin plus an explicit slice width, so that Bounds(i) of a shifted
+// slicer returns the exact same floats as the original's Bounds(i+k).
+// This is what lets the incremental windowing path treat "the same slice
+// seen through two windows" as bit-identical. A zero-valued Slicer (or one
+// assembled by hand from Start/End/N) falls back to deriving the width
+// from the window, which matches the historical behavior.
 type Slicer struct {
 	Start, End float64
 	N          int
+
+	// Grid anchoring: Bounds(i) = base + (off+i)·w when w > 0.
+	base float64
+	off  int
+	w    float64
 }
 
-// New returns a Slicer over [start, end) with n slices.
+// New returns a Slicer over [start, end) with n slices, anchored at start.
 func New(start, end float64, n int) (Slicer, error) {
 	if n <= 0 {
 		return Slicer{}, fmt.Errorf("timeslice: need at least one slice, got %d", n)
@@ -23,15 +36,55 @@ func New(start, end float64, n int) (Slicer, error) {
 	if !(end > start) {
 		return Slicer{}, fmt.Errorf("timeslice: empty window [%g,%g)", start, end)
 	}
-	return Slicer{Start: start, End: end, N: n}, nil
+	return Slicer{Start: start, End: end, N: n, base: start, off: 0, w: (end - start) / float64(n)}, nil
+}
+
+// Shift returns the slicer panned by k slices on the same grid: slice i of
+// the result covers exactly the interval of slice i+k of s — the boundary
+// floats are identical, not merely close. The window may extend past the
+// original trace extent; slices there simply hold no events.
+func (s Slicer) Shift(k int) Slicer {
+	w := s.Width()
+	base, off := s.base, s.off
+	if s.w <= 0 { // hand-assembled slicer: anchor it now
+		base, off = s.Start, 0
+	}
+	off += k
+	return Slicer{
+		Start: base + float64(off)*w,
+		End:   base + float64(off+s.N)*w,
+		N:     s.N,
+		base:  base,
+		off:   off,
+		w:     w,
+	}
+}
+
+// OnGrid reports whether o shares s's grid (same origin and width), and if
+// so the slice offset k such that o.Bounds(i) == s.Bounds(i+k) exactly.
+func (s Slicer) OnGrid(o Slicer) (k int, ok bool) {
+	if s.w <= 0 || o.w <= 0 || s.base != o.base || s.w != o.w {
+		return 0, false
+	}
+	return o.off - s.off, true
 }
 
 // Width returns the duration d(t) of one slice (slices are regular).
-func (s Slicer) Width() float64 { return (s.End - s.Start) / float64(s.N) }
+func (s Slicer) Width() float64 {
+	if s.w > 0 {
+		return s.w
+	}
+	return (s.End - s.Start) / float64(s.N)
+}
 
-// Bounds returns the half-open time interval covered by slice i.
+// Bounds returns the half-open time interval covered by slice i. The index
+// may lie outside [0, N): the grid extrapolates, which the zoom-out path
+// uses to address slices beyond the current window.
 func (s Slicer) Bounds(i int) (float64, float64) {
 	w := s.Width()
+	if s.w > 0 {
+		return s.base + float64(s.off+i)*w, s.base + float64(s.off+i+1)*w
+	}
 	return s.Start + float64(i)*w, s.Start + float64(i+1)*w
 }
 
@@ -55,6 +108,9 @@ func (s Slicer) SliceOf(t float64) int {
 	if i >= s.N { // guard against floating-point edge
 		i = s.N - 1
 	}
+	if i < 0 {
+		i = 0
+	}
 	return i
 }
 
@@ -74,6 +130,23 @@ func (s Slicer) Overlap(start, end float64, visit func(slice int, seconds float6
 		end = s.End
 	}
 	first, last := s.SliceOf(start), s.SliceOf(end)
+	// SliceOf works on the (possibly re-derived) window, whose float
+	// arithmetic may land one slice off the anchored grid; widen to the
+	// true covering range — the b > a check below discards empty edges.
+	for first > 0 {
+		if lo, _ := s.Bounds(first); lo > start {
+			first--
+		} else {
+			break
+		}
+	}
+	for last < s.N-1 {
+		if _, hi := s.Bounds(last); hi < end {
+			last++
+		} else {
+			break
+		}
+	}
 	// SliceOf(end) may land one past the real last overlapped slice when
 	// end is exactly a slice boundary.
 	if lo, _ := s.Bounds(last); lo >= end {

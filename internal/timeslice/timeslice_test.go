@@ -177,3 +177,67 @@ func TestDurations(t *testing.T) {
 		}
 	}
 }
+
+func TestShiftBoundsAreBitIdentical(t *testing.T) {
+	// The whole incremental-windowing design rests on this: slice i of a
+	// shifted slicer covers the exact same floats as slice i+k of the
+	// original, for any k, including chains of shifts that cancel out.
+	s, _ := New(0.1, 7.3, 13)
+	for _, k := range []int{1, -1, 5, -5, 13, 40} {
+		sh := s.Shift(k)
+		for i := -3; i < s.N+3; i++ {
+			lo1, hi1 := sh.Bounds(i)
+			lo2, hi2 := s.Bounds(i + k)
+			if lo1 != lo2 || hi1 != hi2 {
+				t.Fatalf("Shift(%d).Bounds(%d) = [%v,%v), want [%v,%v)", k, i, lo1, hi1, lo2, hi2)
+			}
+		}
+		if sh.Width() != s.Width() {
+			t.Fatalf("Shift(%d) changed the width", k)
+		}
+		if off, ok := s.OnGrid(sh); !ok || off != k {
+			t.Fatalf("OnGrid(Shift(%d)) = (%d, %v), want (%d, true)", k, off, ok, k)
+		}
+	}
+	// A round trip returns to the identical slicer.
+	rt := s.Shift(7).Shift(-3).Shift(-4)
+	if rt != s {
+		t.Fatalf("shift round trip: %+v != %+v", rt, s)
+	}
+}
+
+func TestOnGridRejectsForeignSlicers(t *testing.T) {
+	a, _ := New(0, 10, 10)
+	b, _ := New(0, 10, 20) // different width
+	c, _ := New(1, 11, 10) // different origin
+	if _, ok := a.OnGrid(b); ok {
+		t.Error("different width accepted")
+	}
+	if _, ok := a.OnGrid(c); ok {
+		t.Error("different origin accepted")
+	}
+	if k, ok := a.OnGrid(a); !ok || k != 0 {
+		t.Errorf("self: (%d, %v), want (0, true)", k, ok)
+	}
+}
+
+func TestShiftOverlapMatchesOriginal(t *testing.T) {
+	// Event mass attributed to a given absolute slice must be the same
+	// number whether seen through the original or a shifted window.
+	s, _ := New(0, 9.9, 11)
+	sh := s.Shift(3)
+	events := [][2]float64{{0.05, 4.2}, {3.3, 3.31}, {2.7, 9.9}, {5, 6}}
+	for _, e := range events {
+		orig := map[int]float64{}
+		s.Overlap(e[0], e[1], func(i int, sec float64) { orig[i] = sec })
+		sh.Overlap(e[0], e[1], func(i int, sec float64) {
+			abs := i + 3
+			if abs >= s.N { // clipped differently at the right edge
+				return
+			}
+			if want, ok := orig[abs]; ok && sec != want {
+				t.Errorf("event %v slice %d: shifted %v, original %v", e, abs, sec, want)
+			}
+		})
+	}
+}
