@@ -26,19 +26,23 @@ import (
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, ablation, windowing, all")
-		outdir = flag.String("outdir", "out", "directory for rendered artifacts")
-		scale  = flag.Float64("scale", 0.02, "fraction of the paper's event counts to simulate")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		slices = flag.Int("slices", 30, "microscopic time slices |T| (paper: 30)")
+		exp     = flag.String("exp", "all", "experiment: table1, table2, fig1, fig2, fig3, fig4, ablation, windowing, all")
+		outdir  = flag.String("outdir", "out", "directory for rendered artifacts")
+		scale   = flag.Float64("scale", 0.02, "fraction of the paper's event counts to simulate")
+		seed    = flag.Int64("seed", 42, "simulation seed")
+		slices  = flag.Int("slices", 30, "microscopic time slices |T| (paper: 30)")
+		workers = flag.Int("workers", 0, "worker count for case preparation and the engine (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
-	cfg := experiments.Config{OutDir: *outdir, Scale: *scale, Seed: *seed, Slices: *slices}
+	cfg := experiments.Config{OutDir: *outdir, Scale: *scale, Seed: *seed, Slices: *slices, Workers: *workers}
 
 	names := experiments.Names()
 	if *exp != "all" {
 		names = []string{*exp}
 	}
+	// Batch the shared cases' generation + input passes across the worker
+	// pool and memoize them across the experiments below.
+	cfg = experiments.Prepare(cfg, names...)
 	for _, name := range names {
 		fmt.Printf("\n===== %s =====\n", name)
 		start := time.Now()

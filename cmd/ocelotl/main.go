@@ -194,12 +194,7 @@ func replayWindow(log io.Writer, in *core.Input, zoomSpec, panSpec string) (*cor
 			return fmt.Errorf("replay %s: %w", label, err)
 		}
 		elapsed := time.Since(t0)
-		reused := 0
-		if k, ok := prev.OnGrid(next.Model.Slicer); ok {
-			if w := in.T - abs(k); w > 0 {
-				reused = w
-			}
-		}
+		reused := microscopic.GridOverlap(prev, next.Model.Slicer).W
 		in = next
 		fmt.Fprintf(log, "replay %-12s window=[%.6g,%.6g) reused %d/%d slices in %v\n",
 			label, in.Model.Slicer.Start, in.Model.Slicer.End, reused, in.T, elapsed)
@@ -233,13 +228,6 @@ func replayWindow(log io.Writer, in *core.Input, zoomSpec, panSpec string) (*cor
 		}
 	}
 	return in, nil
-}
-
-func abs(x int) int {
-	if x < 0 {
-		return -x
-	}
-	return x
 }
 
 func runMode(m *microscopic.Model, in *core.Input, mode string, p float64) (*partition.Partition, error) {

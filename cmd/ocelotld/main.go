@@ -1,0 +1,119 @@
+// Command ocelotld is the long-lived aggregation server: it keeps one
+// microscopic.Reslicer per loaded trace and a window-keyed LRU cache of
+// core.Inputs, serving optimal partitions, significant-p ladders, quality
+// curves and rendered views over HTTP/JSON. Window misses are derived
+// incrementally from the nearest cached overlapping window, so interactive
+// pan sequences cost O(changed slices) per step instead of a fresh input
+// pass.
+//
+//	ocelotld -addr :8087 -cache-mb 256
+//	ocelotld -load caseA=caseA.bin -load run7=run7.csv.gz
+//
+// Then, for example:
+//
+//	curl -X POST -d '{"id":"a","path":"caseA.bin"}' localhost:8087/traces
+//	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30'
+//	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30&pan=3'
+//	curl localhost:8087/debug/cachestats
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
+// requests.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8087", "listen address")
+		cacheMB   = flag.Int("cache-mb", 256, "Input-cache byte budget in MiB (0 disables caching)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request handling timeout (0 disables)")
+		workers   = flag.Int("workers", 0, "worker count for input passes and p-sweeps (0 = GOMAXPROCS)")
+		poolBound = flag.Int("solver-pool", 0, "max pooled solvers per cached Input (0 = worker count)")
+		normalize = flag.Bool("normalize", false, "normalize gain/loss by their full-aggregation values")
+		maxSlices = flag.Int("max-slices", 0, "per-request cap on the slices (|T|) parameter (0 = default 512)")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		verbose   = flag.Bool("v", false, "debug-level logging")
+	)
+	var preloads []string
+	flag.Func("load", "preload a trace as id=path (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want id=path, got %q", v)
+		}
+		preloads = append(preloads, v)
+		return nil
+	})
+	flag.Parse()
+
+	level := slog.LevelInfo
+	if *verbose {
+		level = slog.LevelDebug
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB <= 0 {
+		cacheBytes = -1 // disable rather than fall back to the default
+	}
+	srv := server.New(server.Config{
+		CacheBytes:     cacheBytes,
+		Core:           core.Options{Normalize: *normalize, Workers: *workers, SolverPoolBound: *poolBound},
+		RequestTimeout: *timeout,
+		MaxSlices:      *maxSlices,
+		Logger:         logger,
+	})
+	for _, spec := range preloads {
+		id, path, _ := strings.Cut(spec, "=")
+		tr, err := srv.Registry().Load(id, path)
+		if err != nil {
+			logger.Error("preload failed", "spec", spec, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("preloaded", "trace", tr.ID, "path", path, "events", tr.Events)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("ocelotld listening", "addr", *addr, "cache_mb", *cacheMB, "timeout", *timeout)
+
+	select {
+	case err := <-errCh:
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	logger.Info("shutting down", "grace", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		logger.Error("shutdown incomplete", "error", err)
+		os.Exit(1)
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("server failed", "error", err)
+		os.Exit(1)
+	}
+	logger.Info("bye")
+}

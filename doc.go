@@ -9,11 +9,21 @@
 //
 // The engine serves interactive exploration in both of its dimensions:
 // one immutable core.Input answers any number of concurrent p-queries
-// (Solver, SweepRun, the priority-frontier SignificantPs), and window
-// changes are incremental — microscopic.Reslicer keeps a per-resource
-// event index and core.Input.Update rebuilds only what the new slices
-// touch, so a zoom or pan costs O(changed slices), not a fresh input
-// pass.
+// (Solver, SweepRun, the priority-frontier SignificantPs) from a
+// capacity-bounded solver pool, and window changes are incremental —
+// microscopic.Reslicer keeps a per-resource event index and
+// core.Input.Update rebuilds only what the new slices touch, so a zoom
+// or pan costs O(changed slices), not a fresh input pass.
+//
+// The serving layer turns that into a long-lived service. The packages
+// layer traceio → microscopic → core → server: traceio streams trace
+// files, microscopic indexes them into one Reslicer per loaded trace,
+// core builds immutable per-window Inputs and answers p-queries, and
+// internal/server (the HTTP/JSON front-end behind cmd/ocelotld) keeps a
+// window-keyed, byte-budgeted LRU cache of those Inputs whose misses are
+// derived incrementally from the nearest cached overlapping window —
+// with singleflight deduplication, per-request build-path logging and
+// /debug/cachestats counters.
 //
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation, plus the

@@ -3,6 +3,7 @@ package core
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"ocelotl/internal/hierarchy"
 	"ocelotl/internal/measures"
@@ -71,13 +72,24 @@ type Input struct {
 
 	normalize          bool
 	workers            int
+	poolBound          int
 	rootGain, rootLoss float64 // full-aggregation gain/loss (normalization)
 
-	// solvers recycles Solver scratch (the O(|H(S)|·|T|²) pIC/cut arenas)
-	// across queries; used by the sweeps and the Aggregator facade. The
-	// pool is internal concurrency-safe state, not a mutation of the
-	// aggregation results.
-	solvers sync.Pool
+	// The solver pool recycles Solver scratch (the O(|H(S)|·|T|²) pIC/cut
+	// arenas) across queries and bounds how many pooled Solvers can exist
+	// at once: solverFree holds idle solvers, and creating a new one
+	// claims a slot of solverTokens, so at most poolBound solvers are ever
+	// live and AcquireSolver blocks once they are all in flight. That caps
+	// the peak pooled scratch memory at poolBound·O(|H(S)|·|T|²) no matter
+	// how many queries race. The pool is internal concurrency-safe state,
+	// not a mutation of the aggregation results.
+	solverFree   chan *Solver
+	solverTokens chan struct{}
+	// solversLive counts the pooled solvers created so far (≤ poolBound).
+	// Unlike a sync.Pool, the bounded pool retains its solvers for the
+	// Input's lifetime, so their scratch is part of the Input's resident
+	// cost and MemoryBytes includes it.
+	solversLive atomic.Int64
 }
 
 // Options tunes the input pass and the solvers derived from it.
@@ -96,6 +108,14 @@ type Options struct {
 	// children's completed matrices (optimization), and sweep results are
 	// keyed by p, so no decomposition has shared mutable state.
 	Workers int
+	// SolverPoolBound caps how many pooled Solvers (each holding
+	// O(|H(S)|·|T|²) pIC/cut scratch) an Input keeps alive at once: 0
+	// defaults to the resolved worker count (i.e. GOMAXPROCS). Once the
+	// bound is reached, AcquireSolver blocks until a solver is released,
+	// so the sweep's peak scratch memory is capped even under unbounded
+	// query concurrency. Solvers allocated directly with NewSolver are
+	// outside the pool and uncounted.
+	SolverPoolBound int
 }
 
 // workers resolves the effective parallelism.
@@ -121,6 +141,7 @@ func NewInput(m *microscopic.Model, opt Options) *Input {
 		offs:      make([]int, n),
 		normalize: opt.Normalize,
 		workers:   opt.workers(),
+		poolBound: opt.SolverPoolBound,
 	}
 	for id := range in.offs {
 		in.offs[id] = id * in.cells
@@ -150,9 +171,17 @@ func (in *Input) allocArenas(n int) {
 	in.durPref = make([]float64, T+1)
 }
 
-// initPool arms the solver pool; called by every Input constructor.
+// initPool arms the bounded solver pool; called by every Input
+// constructor. A zero bound defaults to the worker count.
 func (in *Input) initPool() {
-	in.solvers.New = func() any { return in.NewSolver() }
+	if in.poolBound <= 0 {
+		in.poolBound = in.workers
+	}
+	if in.poolBound < 1 {
+		in.poolBound = 1
+	}
+	in.solverFree = make(chan *Solver, in.poolBound)
+	in.solverTokens = make(chan struct{}, in.poolBound)
 }
 
 // readRoot records the full-aggregation gain/loss (the normalization
@@ -443,16 +472,57 @@ func (in *Input) RootGainLoss() (gain, loss float64) { return in.rootGain, in.ro
 // O(|H(S)|·|T|²) space term; exposed for the scaling ablations.
 func (in *Input) InputCells() int { return len(in.gain) }
 
-// AcquireSolver returns a Solver from the input's pool (allocating one on
-// first use), with Workers reset to the input's default. Callers should
-// ReleaseSolver it when the query is done; the sweeps and the Aggregator
-// facade use this so repeated queries stop reallocating the
-// O(|H(S)|·|T|²) pIC/cut scratch.
+// AcquireSolver returns a Solver from the input's bounded pool, with
+// Workers reset to the input's default. Callers should ReleaseSolver it
+// when the query is done; the sweeps, the Aggregator facade and the
+// serving layer use this so repeated queries stop reallocating the
+// O(|H(S)|·|T|²) pIC/cut scratch. At most Options.SolverPoolBound solvers
+// (default: the worker count) exist at once — when they are all in
+// flight, AcquireSolver blocks until one is released, capping the peak
+// pooled scratch memory under any request concurrency.
 func (in *Input) AcquireSolver() *Solver {
-	s := in.solvers.Get().(*Solver)
+	var s *Solver
+	select {
+	case s = <-in.solverFree:
+	default:
+		select {
+		case s = <-in.solverFree:
+		case in.solverTokens <- struct{}{}: // claim a creation slot
+			s = in.NewSolver()
+			in.solversLive.Add(1)
+		}
+	}
 	s.Workers = in.workers
 	return s
 }
 
-// ReleaseSolver returns a Solver obtained from AcquireSolver to the pool.
-func (in *Input) ReleaseSolver(s *Solver) { in.solvers.Put(s) }
+// ReleaseSolver returns a Solver obtained from AcquireSolver to the pool,
+// unblocking a waiting AcquireSolver if any. Extra solvers beyond the
+// bound (e.g. created directly with NewSolver) are dropped for the GC.
+func (in *Input) ReleaseSolver(s *Solver) {
+	select {
+	case in.solverFree <- s:
+	default:
+	}
+}
+
+// SolverPoolBound reports the resolved solver-pool capacity.
+func (in *Input) SolverPoolBound() int { return in.poolBound }
+
+// MemoryBytes returns the approximate resident size of the Input in
+// bytes — the cache-cost accessor serving-layer caches budget their
+// entries with: the arenas (matrices, slice rows, prefix sums) plus the
+// scratch of every pooled solver created so far (the bounded pool
+// retains them for the Input's lifetime, so they are resident cost; the
+// pool warms as queries run, so callers budgeting by this value should
+// re-read it rather than assume the at-construction figure).
+func (in *Input) MemoryBytes() int {
+	floats := len(in.gain) + len(in.loss) +
+		len(in.slcD) + len(in.slcRho) + len(in.slcRL) +
+		len(in.prefD) + len(in.prefRho) + len(in.prefRL) +
+		len(in.durPref)
+	// Each pooled solver holds a float64 pIC and an int32 cut arena of
+	// len(gain) cells.
+	solver := len(in.gain) * (8 + 4)
+	return floats*8 + int(in.solversLive.Load())*solver
+}

@@ -31,7 +31,7 @@ import (
 // Update degrades to a full (still parallel) rebuild and remains correct.
 func (in *Input) Update(newModel *microscopic.Model, ov microscopic.SliceOverlap) *Input {
 	if newModel.H != in.Model.H || newModel.NumSlices() != in.T || newModel.NumStates() != in.X {
-		return NewInput(newModel, Options{Normalize: in.normalize, Workers: in.workers})
+		return NewInput(newModel, Options{Normalize: in.normalize, Workers: in.workers, SolverPoolBound: in.poolBound})
 	}
 	ov = in.verifyOverlap(newModel, ov)
 	out := &Input{
@@ -44,6 +44,7 @@ func (in *Input) Update(newModel *microscopic.Model, ov microscopic.SliceOverlap
 		offs:      in.offs,
 		normalize: in.normalize,
 		workers:   in.workers,
+		poolBound: in.poolBound,
 	}
 	out.allocArenas(len(in.meta))
 	out.initPool()
@@ -86,21 +87,17 @@ func (in *Input) Zoom(lo, hi int) (*Input, error) {
 }
 
 // verifyOverlap cross-checks a claimed overlap against the two windows'
-// slice grids, so a wrong claim degrades to a (correct) rebuild instead of
-// silently reusing slices that are not the same. When both slicers sit on
-// one anchored grid the true overlap is derivable — a claim narrower than
-// the truth is honored, anything inconsistent is replaced by the truth;
-// off-grid windows share nothing.
+// slice grids (microscopic.GridOverlap, the shared window-arithmetic
+// helper), so a wrong claim degrades to a (correct) rebuild instead of
+// silently reusing slices that are not the same. A claim narrower than the
+// derivable truth is honored, anything inconsistent is replaced by the
+// truth; off-grid windows share nothing.
 func (in *Input) verifyOverlap(newModel *microscopic.Model, ov microscopic.SliceOverlap) microscopic.SliceOverlap {
-	k, onGrid := in.Model.Slicer.OnGrid(newModel.Slicer)
-	if !onGrid {
-		return microscopic.SliceOverlap{}
-	}
-	truth := microscopic.ShiftOverlap(in.T, k)
+	truth := microscopic.GridOverlap(in.Model.Slicer, newModel.Slicer)
 	if !truth.Shared() {
 		return truth
 	}
-	if ov.Shared() && ov.OldLo-ov.NewLo == k &&
+	if ov.Shared() && ov.Shift() == truth.Shift() &&
 		ov.OldLo >= truth.OldLo && ov.OldLo+ov.W <= truth.OldLo+truth.W {
 		return ov // a consistent, possibly narrower claim
 	}

@@ -11,6 +11,8 @@ import (
 	"os"
 	"path/filepath"
 	"time"
+
+	"ocelotl/internal/grid5000"
 )
 
 // Config parametrizes an experiment run.
@@ -25,6 +27,14 @@ type Config struct {
 	Slices int
 	// Out receives the textual report (default os.Stdout).
 	Out io.Writer
+	// Workers bounds the parallelism of case preparation and of the
+	// engine (core.Options.Workers); 0 picks GOMAXPROCS. This is the same
+	// worker-count knob the serving layer exposes.
+	Workers int
+
+	// prep memoizes prepared cases across the experiments of one Run so
+	// independent cases batch across the worker pool (see batch.go).
+	prep *casePrep
 }
 
 func (c Config) out() io.Writer {
@@ -49,12 +59,50 @@ func Names() []string {
 	return []string{"table1", "fig3", "table2", "fig1", "fig2", "fig4", "ablation", "windowing"}
 }
 
-// Run dispatches one experiment by name ("all" runs everything).
+// casesFor returns the distinct Table II cases the named experiments
+// consume through the shared bundle path ("all" expands to every name).
+func casesFor(names []string) []grid5000.Case {
+	need := map[string][]grid5000.Case{
+		"fig1": {grid5000.CaseA}, "fig2": {grid5000.CaseA}, "fig4": {grid5000.CaseC},
+	}
+	seen := map[grid5000.Case]bool{}
+	var out []grid5000.Case
+	for _, n := range names {
+		if n == "all" {
+			return casesFor(Names())
+		}
+		for _, c := range need[n] {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// Prepare arms cfg's shared case memo and batches the preparation
+// (generation, microscopic model, Input) of the independent cases the
+// named experiments consume across the worker pool, instead of letting
+// each experiment build its case sequentially on first touch. Successive
+// Run calls with the returned Config share the prepared cases.
+func Prepare(cfg Config, names ...string) Config {
+	cfg.prep = newCasePrep()
+	cfg.prebuild(casesFor(names))
+	return cfg
+}
+
+// Run dispatches one experiment by name ("all" runs everything). A full
+// run prebuilds the cases the figure experiments share across the worker
+// pool (multi-trace batching) before executing the experiments in order.
 func Run(name string, cfg Config) error {
 	if cfg.OutDir != "" {
 		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
 			return err
 		}
+	}
+	if cfg.prep == nil {
+		cfg.prep = newCasePrep()
 	}
 	fns := map[string]func(Config) error{
 		"table1": RunTable1, "fig3": RunFig3, "table2": RunTable2,
@@ -62,6 +110,7 @@ func Run(name string, cfg Config) error {
 		"windowing": RunWindowing,
 	}
 	if name == "all" {
+		cfg.prebuild(casesFor(Names()))
 		for _, n := range Names() {
 			if err := fns[n](cfg); err != nil {
 				return fmt.Errorf("%s: %w", n, err)

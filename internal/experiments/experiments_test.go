@@ -7,6 +7,8 @@ import (
 	"regexp"
 	"strings"
 	"testing"
+
+	"ocelotl/internal/grid5000"
 )
 
 // quickCfg returns a config small enough for CI but large enough for the
@@ -206,5 +208,45 @@ func TestRunWindowing(t *testing.T) {
 	}
 	if regexp.MustCompile(`pan 1 .*NaN`).MatchString(out) {
 		t.Errorf("bad speedup:\n%s", out)
+	}
+}
+
+// TestPrepareBatchesSharedCases: Prepare must build each needed case
+// exactly once across the worker pool, and Run* consumers must reuse the
+// memoized bundle rather than regenerating (same pointer identity).
+func TestPrepareBatchesSharedCases(t *testing.T) {
+	cfg, _ := quickCfg(t)
+	cfg.Workers = 2
+	cfg = Prepare(cfg, "fig1", "fig2", "fig4")
+
+	b1, err := cfg.bundle(grid5000.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := cfg.bundle(grid5000.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1 != b2 {
+		t.Fatal("case A rebuilt instead of reusing the memoized bundle")
+	}
+	if b1.res == nil || b1.model == nil || b1.in == nil {
+		t.Fatalf("incomplete bundle: %+v", b1)
+	}
+	// The prepared bundle must match a direct, unbatched build.
+	direct, err := buildBundle(cfg, grid5000.CaseA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b1.model.TotalTime(), direct.model.TotalTime(); got != want {
+		t.Fatalf("batched model TotalTime %v != direct %v", got, want)
+	}
+	bg, bl := b1.in.RootGainLoss()
+	dg, dl := direct.in.RootGainLoss()
+	if bg != dg || bl != dl {
+		t.Fatalf("batched input root gain/loss (%v,%v) != direct (%v,%v)", bg, bl, dg, dl)
+	}
+	if got := casesFor([]string{"fig1", "fig2", "fig4"}); len(got) != 2 {
+		t.Fatalf("casesFor = %v, want the two distinct cases A and C", got)
 	}
 }

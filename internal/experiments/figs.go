@@ -180,15 +180,11 @@ func writeSVG(in *core.Input, pt *partition.Partition, path string, opt render.O
 // around 3 s, plus the §V.A findings (phases, wait-dedicated processes,
 // impacted-process list).
 func RunFig1(cfg Config) error {
-	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	b, err := cfg.bundle(grid5000.CaseA)
 	if err != nil {
 		return err
 	}
-	m, err := microscopic.Build(res.Trace, microscopic.Options{Slices: cfg.Slices})
-	if err != nil {
-		return err
-	}
-	in := core.NewInput(m, core.Options{})
+	res, m, in := b.res, b.model, b.in
 	pt, err := in.NewSolver().Run(0.2)
 	if err != nil {
 		return err
@@ -228,10 +224,11 @@ func RunFig1(cfg Config) error {
 // trace. The point is quantitative — most events cannot be drawn
 // faithfully at screen resolution.
 func RunFig2(cfg Config) error {
-	res, err := mpisim.GenerateCase(grid5000.CaseA, mpisim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	b, err := cfg.bundle(grid5000.CaseA)
 	if err != nil {
 		return err
 	}
+	res := b.res
 	f, err := os.Create(cfg.artifact("fig2.png"))
 	if err != nil {
 		return err
@@ -259,15 +256,11 @@ func RunFig2(cfg Config) error {
 // Graphite spatially separated and heterogeneous, Griffon ruptured at
 // 34.5 s.
 func RunFig4(cfg Config) error {
-	res, err := mpisim.GenerateCase(grid5000.CaseC, mpisim.Config{Seed: cfg.Seed, Scale: cfg.Scale})
+	b, err := cfg.bundle(grid5000.CaseC)
 	if err != nil {
 		return err
 	}
-	m, err := microscopic.Build(res.Trace, microscopic.Options{Slices: cfg.Slices})
-	if err != nil {
-		return err
-	}
-	in := core.NewInput(m, core.Options{})
+	res, m, in := b.res, b.model, b.in
 	pt, err := in.NewSolver().Run(0.35)
 	if err != nil {
 		return err

@@ -268,6 +268,30 @@ func ShiftOverlap(T, k int) SliceOverlap {
 	}
 }
 
+// Shift returns the pan distance the overlap encodes: the k such that old
+// slice i+k coincides with new slice i. Only meaningful for overlaps that
+// share slices.
+func (ov SliceOverlap) Shift() int { return ov.OldLo - ov.NewLo }
+
+// GridOverlap is the one place window arithmetic between two slicers
+// happens: it reports which of new's slices are bit-identical to slices of
+// old. Both windows must sit on one anchored grid (same origin and width)
+// and have the same slice count; the pan distance is clamped against the
+// window width by ShiftOverlap, so callers never re-implement the
+// |k| < |T| bound. Off-grid or reshaped windows share nothing. The CLI's
+// pan/zoom replay, core.Input's overlap verification and the serving
+// layer's cache all derive their reuse decisions from this.
+func GridOverlap(old, new timeslice.Slicer) SliceOverlap {
+	if old.N != new.N {
+		return SliceOverlap{}
+	}
+	k, ok := old.OnGrid(new)
+	if !ok {
+		return SliceOverlap{}
+	}
+	return ShiftOverlap(old.N, k)
+}
+
 // Zoom re-slices the time range covered by slices [lo, hi] of m's window
 // into the same number of slices. Indices outside [0, |T|) address the
 // grid's extrapolation, so Zoom(-|T|/2, |T|+|T|/2-1) is a 2× zoom-out.

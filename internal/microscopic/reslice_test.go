@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"ocelotl/internal/timeslice"
 	"ocelotl/internal/trace"
 )
 
@@ -276,5 +277,54 @@ func TestReslicerRejectsCorruptEvents(t *testing.T) {
 		if _, err := NewReslicerStream(&traceSource{tr: tr}); err == nil {
 			t.Errorf("NewReslicerStream accepted corrupt %s", name)
 		}
+	}
+}
+
+// TestGridOverlap: the shared window-arithmetic helper must report the
+// clamped pan overlap for on-grid slicers and nothing for off-grid or
+// reshaped windows.
+func TestGridOverlap(t *testing.T) {
+	base, err := timeslice.New(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		new  timeslice.Slicer
+		want SliceOverlap
+	}{
+		{"identity", base, SliceOverlap{OldLo: 0, NewLo: 0, W: 5}},
+		{"pan+2", base.Shift(2), SliceOverlap{OldLo: 2, NewLo: 0, W: 3}},
+		{"pan-3", base.Shift(-3), SliceOverlap{OldLo: 0, NewLo: 3, W: 2}},
+		{"pan past width", base.Shift(5), SliceOverlap{}},
+		{"pan far negative", base.Shift(-17), SliceOverlap{}},
+	}
+	for _, tc := range cases {
+		if got := GridOverlap(base, tc.new); got != tc.want {
+			t.Errorf("%s: GridOverlap = %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+	// Shift() recovers the pan distance from a shared overlap.
+	if k := GridOverlap(base, base.Shift(2)).Shift(); k != 2 {
+		t.Errorf("Shift() = %d, want 2", k)
+	}
+	if k := GridOverlap(base, base.Shift(-3)).Shift(); k != -3 {
+		t.Errorf("Shift() = %d, want -3", k)
+	}
+	// Off-grid: a window assembled independently shares nothing.
+	other, err := timeslice.New(0.5, 10.5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := GridOverlap(base, other); got.Shared() {
+		t.Errorf("off-grid windows report overlap %+v", got)
+	}
+	// Reshaped: same span, different |T|.
+	reshaped, err := timeslice.New(0, 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := GridOverlap(base, reshaped); got.Shared() {
+		t.Errorf("reshaped windows report overlap %+v", got)
 	}
 }

@@ -1,0 +1,303 @@
+package server
+
+import (
+	"container/list"
+	"math"
+	"sync"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/timeslice"
+)
+
+// BuildKind records how a window's Input was obtained, for the
+// per-request log line and /debug/cachestats.
+type BuildKind string
+
+const (
+	// BuildHit: the exact window was cached.
+	BuildHit BuildKind = "hit"
+	// BuildDerived: a miss served by Input.Update from the nearest cached
+	// overlapping window (O(Δ·|T|) per node instead of O(|T|²)).
+	BuildDerived BuildKind = "derived"
+	// BuildScratch: a miss with no overlapping neighbor — a full NewInput
+	// over a Reslicer-filled model.
+	BuildScratch BuildKind = "scratch"
+	// BuildCoalesced: the request piggybacked on an identical in-flight
+	// build (singleflight).
+	BuildCoalesced BuildKind = "coalesced"
+)
+
+// windowKey identifies one cached Input: the trace load (id + its load
+// generation, so a reloaded id never matches the old load's entries or
+// in-flight builds), the slice count and the exact window floats. Two
+// windows on the same grid at different offsets hash to different keys;
+// the grid relation between them is what the derivation path exploits.
+type windowKey struct {
+	trace      string
+	gen        uint64
+	slices     int
+	start, end float64
+}
+
+// entry is one cached Input on the LRU list.
+type entry struct {
+	key   windowKey
+	in    *core.Input
+	bytes int
+}
+
+// flight is one in-flight build; concurrent requests for the same key
+// wait on done instead of building again.
+type flight struct {
+	done chan struct{}
+	in   *core.Input
+	kind BuildKind
+	err  error
+}
+
+// InputCache is the window-keyed Input cache of the serving layer: an LRU
+// over (trace, slice count, window) with a byte budget derived from
+// core.Input.MemoryBytes. A miss does not go straight to NewInput — it
+// first looks for the nearest cached window of the same trace and shape
+// that overlaps the request on its slice grid (microscopic.GridOverlap)
+// and derives the new Input incrementally via Input.Update, falling back
+// to a from-scratch build only when nothing overlaps. Concurrent requests
+// for the same window are deduplicated (singleflight): one build runs,
+// the rest wait for its result.
+type InputCache struct {
+	budget int64
+	opts   core.Options
+
+	mu       sync.Mutex
+	lru      *list.List // of *entry; front = most recently used
+	entries  map[windowKey]*list.Element
+	inflight map[windowKey]*flight
+	bytes    int64
+	// purged[trace] is the highest unloaded generation per trace id:
+	// inserts at or below it (builds that were in flight across an
+	// unload) are discarded instead of parking unreachable entries
+	// against the budget.
+	purged map[string]uint64
+
+	stats Stats
+}
+
+// NewInputCache returns a cache holding at most budget bytes of Input
+// arenas (≤ 0 keeps nothing cached — every request builds, which the
+// eviction and benchmark paths use). opts configures every Input built
+// through the cache.
+func NewInputCache(budget int64, opts core.Options) *InputCache {
+	return &InputCache{
+		budget:   budget,
+		opts:     opts,
+		lru:      list.New(),
+		entries:  make(map[windowKey]*list.Element),
+		inflight: make(map[windowKey]*flight),
+		purged:   make(map[string]uint64),
+	}
+}
+
+func keyFor(tr *Trace, sl timeslice.Slicer) windowKey {
+	return windowKey{trace: tr.ID, gen: tr.gen, slices: sl.N, start: sl.Start, end: sl.End}
+}
+
+// Get returns the Input for the trace restricted to sl's window, and how
+// it was obtained. The returned Input is immutable and remains valid
+// after eviction; callers never hold cache locks while using it.
+func (c *InputCache) Get(tr *Trace, sl timeslice.Slicer) (*core.Input, BuildKind, error) {
+	key := keyFor(tr, sl)
+
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.stats.Hits.Add(1)
+		in := el.Value.(*entry).in
+		c.refreshLocked(el)
+		c.mu.Unlock()
+		return in, BuildHit, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.stats.Coalesced.Add(1)
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, BuildCoalesced, f.err
+		}
+		return f.in, BuildCoalesced, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.stats.Misses.Add(1)
+	src, aligned := c.nearestLocked(tr, sl)
+	c.mu.Unlock()
+
+	f.in, f.kind, f.err = c.build(tr, sl, src, aligned)
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.insertLocked(keyFor(tr, f.in.Model.Slicer), f.in)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.in, f.kind, f.err
+}
+
+// nearestLocked finds the cached window of the same trace load and slice
+// count sharing the most slices with target, together with target
+// re-anchored onto that entry's grid. Windows built independently at the
+// same resolution carry distinct float anchors even when their grids
+// coincide, so alignment goes two ways: the exact grid relation first
+// (microscopic.GridOverlap), then a numeric re-anchor that is accepted
+// only if shifting the candidate's slicer reproduces the requested
+// boundary floats bit-exactly.
+func (c *InputCache) nearestLocked(tr *Trace, target timeslice.Slicer) (*entry, timeslice.Slicer) {
+	var best *entry
+	bestW := 0
+	bestSl := target
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.key.trace != tr.ID || e.key.gen != tr.gen || e.key.slices != target.N {
+			continue
+		}
+		cand := e.in.Model.Slicer
+		ov := microscopic.GridOverlap(cand, target)
+		sl := target
+		if !ov.Shared() {
+			var ok bool
+			if sl, ok = reanchor(cand, target); !ok {
+				continue
+			}
+			ov = microscopic.GridOverlap(cand, sl)
+		}
+		if ov.W > bestW {
+			best, bestW, bestSl = e, ov.W, sl
+		}
+	}
+	return best, bestSl
+}
+
+// reanchor tries to express target on base's grid: if some k-slice shift
+// of base reproduces target's boundary floats exactly, the shifted slicer
+// is target as base's grid sees it. Anything short of bit-exact equality
+// is rejected — close-but-different windows must rebuild, never reuse.
+func reanchor(base, target timeslice.Slicer) (timeslice.Slicer, bool) {
+	w := base.Width()
+	if w <= 0 || base.N != target.N {
+		return timeslice.Slicer{}, false
+	}
+	k := int(math.Round((target.Start - base.Start) / w))
+	cand := base.Shift(k)
+	if cand.Start != target.Start || cand.End != target.End {
+		return timeslice.Slicer{}, false
+	}
+	return cand, true
+}
+
+// build produces the Input for sl outside the cache lock: derived from
+// src when a neighbor overlaps, from scratch otherwise. src.in is
+// immutable, so the build is safe even if the entry is evicted meanwhile.
+func (c *InputCache) build(tr *Trace, sl timeslice.Slicer, src *entry, aligned timeslice.Slicer) (*core.Input, BuildKind, error) {
+	if src != nil {
+		if ov := microscopic.GridOverlap(src.in.Model.Slicer, aligned); ov.Shared() {
+			m, shiftOv := tr.resl.Shift(src.in.Model, ov.Shift())
+			c.stats.Derived.Add(1)
+			return src.in.Update(m, shiftOv), BuildDerived, nil
+		}
+	}
+	c.stats.Scratch.Add(1)
+	return core.NewInput(tr.resl.BuildAt(sl), c.opts), BuildScratch, nil
+}
+
+// insertLocked caches in under key and evicts from the LRU tail until the
+// byte budget holds. The inserted entry itself is exempt from its own
+// eviction pass (an over-budget single Input still serves its request and
+// is dropped on the next insert).
+func (c *InputCache) insertLocked(key windowKey, in *core.Input) {
+	if c.budget <= 0 {
+		return
+	}
+	if key.gen <= c.purged[key.trace] { // built across an unload: discard
+		return
+	}
+	if el, ok := c.entries[key]; ok { // lost a race with an equivalent build
+		c.lru.MoveToFront(el)
+		return
+	}
+	e := &entry{key: key, in: in, bytes: in.MemoryBytes()}
+	c.entries[key] = c.lru.PushFront(e)
+	c.bytes += int64(e.bytes)
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		c.evictLocked(c.lru.Back())
+	}
+}
+
+// refreshLocked re-reads an entry's byte cost (it grows as the Input's
+// bounded solver pool warms up) and reruns eviction if the total
+// overflows; the refreshed entry sits at the LRU front, so it is never
+// its own victim.
+func (c *InputCache) refreshLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	now := e.in.MemoryBytes()
+	if now == e.bytes {
+		return
+	}
+	c.bytes += int64(now - e.bytes)
+	e.bytes = now
+	for c.bytes > c.budget && c.lru.Len() > 1 {
+		c.evictLocked(c.lru.Back())
+	}
+}
+
+func (c *InputCache) evictLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= int64(e.bytes)
+	c.stats.Evictions.Add(1)
+}
+
+// PurgeTrace drops every cached window of the given trace (unload path)
+// and records gen as the trace's purged-generation floor, so builds still
+// in flight for the unloaded generation discard their result at insert
+// instead of parking an unreachable entry against the budget.
+func (c *InputCache) PurgeTrace(traceID string, gen uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen > c.purged[traceID] {
+		c.purged[traceID] = gen
+	}
+	n := 0
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*entry).key.trace == traceID {
+			c.evictLocked(el)
+			n++
+		}
+	}
+	return n
+}
+
+// Snapshot returns the current counters plus the cache's occupancy.
+func (c *InputCache) Snapshot() StatsSnapshot {
+	c.mu.Lock()
+	entries, bytes := c.lru.Len(), c.bytes
+	c.mu.Unlock()
+	s := c.stats.snapshot()
+	s.Entries = entries
+	s.Bytes = bytes
+	s.BudgetBytes = c.budget
+	return s
+}
+
+// insertStaleForTest re-inserts a scratch build under an old trace
+// generation, simulating a build that was in flight across an unload;
+// tests use it to prove generation isolation.
+func (c *InputCache) insertStaleForTest(tr *Trace, sl timeslice.Slicer) {
+	in := core.NewInput(tr.resl.BuildAt(sl), c.opts)
+	c.mu.Lock()
+	c.insertLocked(keyFor(tr, sl), in)
+	c.mu.Unlock()
+}

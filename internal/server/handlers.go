@@ -1,0 +1,414 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"ocelotl/internal/core"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/partition"
+	"ocelotl/internal/render"
+	"ocelotl/internal/timeslice"
+)
+
+// loadRequest is the POST /traces body.
+type loadRequest struct {
+	ID   string `json:"id"`
+	Path string `json:"path"`
+}
+
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	var req loadRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpErrorf(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	if req.ID == "" || req.Path == "" {
+		httpErrorf(w, http.StatusBadRequest, `need {"id": ..., "path": ...}`)
+		return
+	}
+	start := time.Now()
+	tr, err := s.reg.Load(req.ID, req.Path)
+	if err != nil {
+		status := http.StatusBadRequest
+		if strings.Contains(err.Error(), "already loaded") {
+			status = http.StatusConflict
+		}
+		httpError(w, status, err)
+		return
+	}
+	s.log.Info("trace loaded", "trace", tr.ID, "path", tr.Path,
+		"events", tr.Events, "latency", time.Since(start))
+	writeJSON(w, http.StatusCreated, tr.Info())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Traces []Info `json:"traces"`
+	}{Traces: s.reg.List()})
+}
+
+func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
+	tr, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpErrorf(w, http.StatusNotFound, "trace %q not loaded", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.Info())
+}
+
+func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.reg.Get(id)
+	if !ok || !s.reg.Remove(id) {
+		httpErrorf(w, http.StatusNotFound, "trace %q not loaded", id)
+		return
+	}
+	purged := s.cache.PurgeTrace(id, tr.gen)
+	s.log.Info("trace unloaded", "trace", id, "purged_windows", purged)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// windowFromQuery resolves the shared window parameters (lo, hi, slices,
+// pan) against a trace. lo/hi are absolute times defaulting to the full
+// trace window; slices is |T|, capped at maxSlices because a window's
+// Input costs O(|H(S)|·|T|²) before any cache budget applies; pan shifts
+// the window by whole slices on its own grid — the grid-exact navigation
+// path, so a panned request is derivable from its anchor window's cached
+// Input.
+func windowFromQuery(tr *Trace, q url.Values, maxSlices int) (timeslice.Slicer, error) {
+	start, end := tr.resl.TraceWindow()
+	lo, err := finiteParam(q, "lo", start)
+	if err != nil {
+		return timeslice.Slicer{}, err
+	}
+	hi, err := finiteParam(q, "hi", end)
+	if err != nil {
+		return timeslice.Slicer{}, err
+	}
+	slices, err := intParam(q, "slices", microscopic.DefaultSlices)
+	if err != nil {
+		return timeslice.Slicer{}, err
+	}
+	if slices > maxSlices {
+		return timeslice.Slicer{}, fmt.Errorf("slices=%d exceeds the server cap %d", slices, maxSlices)
+	}
+	pan, err := intParam(q, "pan", 0)
+	if err != nil {
+		return timeslice.Slicer{}, err
+	}
+	sl, err := timeslice.New(lo, hi, slices)
+	if err != nil {
+		return timeslice.Slicer{}, err
+	}
+	if pan != 0 {
+		sl = sl.Shift(pan)
+	}
+	return sl, nil
+}
+
+func floatParam(q url.Values, name string, def float64) (float64, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %v", name, s, err)
+	}
+	return v, nil
+}
+
+// finiteParam is floatParam restricted to finite values (window bounds —
+// ±Inf would slip past timeslice.New's emptiness check).
+func finiteParam(q url.Values, name string, def float64) (float64, error) {
+	v, err := floatParam(q, name, def)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0, fmt.Errorf("bad %s=%q: must be finite", name, q.Get(name))
+	}
+	return v, nil
+}
+
+func intParam(q url.Values, name string, def int) (int, error) {
+	s := q.Get(name)
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s=%q: %v", name, s, err)
+	}
+	return v, nil
+}
+
+// inputFor runs the window through the cache and records the build path
+// and latency in the response headers.
+func (s *Server) inputFor(w http.ResponseWriter, r *http.Request) (*Trace, *core.Input, bool) {
+	tr, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpErrorf(w, http.StatusNotFound, "trace %q not loaded", r.PathValue("id"))
+		return nil, nil, false
+	}
+	sl, err := windowFromQuery(tr, r.URL.Query(), s.maxSlices)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	start := time.Now()
+	in, kind, err := s.cache.Get(tr, sl)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return nil, nil, false
+	}
+	w.Header().Set(buildHeader, string(kind))
+	w.Header().Set(buildLatencyHeader, strconv.FormatInt(time.Since(start).Microseconds(), 10))
+	return tr, in, true
+}
+
+// windowJSON describes the exact window a response was computed over.
+type windowJSON struct {
+	Start  float64 `json:"start"`
+	End    float64 `json:"end"`
+	Slices int     `json:"slices"`
+}
+
+func windowOf(in *core.Input) windowJSON {
+	sl := in.Model.Slicer
+	return windowJSON{Start: sl.Start, End: sl.End, Slices: sl.N}
+}
+
+// areaJSON is one aggregate of the optimal partition.
+type areaJSON struct {
+	Path   string    `json:"path"`
+	I      int       `json:"i"`
+	J      int       `json:"j"`
+	Leaves int       `json:"leaves"`
+	Mode   string    `json:"mode,omitempty"`
+	Alpha  float64   `json:"alpha"`
+	Gain   float64   `json:"gain"`
+	Loss   float64   `json:"loss"`
+	Rho    []float64 `json:"rho"`
+}
+
+// aggregateJSON is the GET /traces/{id}/aggregate body.
+type aggregateJSON struct {
+	Trace  string     `json:"trace"`
+	P      float64    `json:"p"`
+	Window windowJSON `json:"window"`
+	Gain   float64    `json:"gain"`
+	Loss   float64    `json:"loss"`
+	PIC    float64    `json:"pic"`
+	Areas  []areaJSON `json:"areas"`
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	p, err := floatParam(r.URL.Query(), "p", 0.35)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, in, ok := s.inputFor(w, r)
+	if !ok {
+		return
+	}
+	pt, err := s.solve(in, p)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := aggregateJSON{
+		Trace:  tr.ID,
+		P:      p,
+		Window: windowOf(in),
+		Gain:   pt.Gain,
+		Loss:   pt.Loss,
+		PIC:    pt.PIC,
+		Areas:  make([]areaJSON, 0, len(pt.Areas)),
+	}
+	states := tr.resl.States()
+	for _, ar := range pt.Areas {
+		info := in.Describe(ar)
+		aj := areaJSON{
+			Path:   ar.Node.Path,
+			I:      ar.I,
+			J:      ar.J,
+			Leaves: ar.Leaves(),
+			Alpha:  info.Alpha,
+			Gain:   info.Gain,
+			Loss:   info.Loss,
+			Rho:    info.Rho,
+		}
+		if info.Mode >= 0 && info.Mode < len(states) {
+			aj.Mode = states[info.Mode]
+		}
+		resp.Areas = append(resp.Areas, aj)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// solve runs one Algorithm 1 query on a pooled (capacity-bounded) Solver.
+func (s *Server) solve(in *core.Input, p float64) (*partition.Partition, error) {
+	solver := in.AcquireSolver()
+	defer in.ReleaseSolver(solver)
+	return solver.Run(p)
+}
+
+// qualityJSON is one quality-curve sample.
+type qualityJSON struct {
+	P     float64 `json:"p"`
+	Areas int     `json:"areas"`
+	Gain  float64 `json:"gain"`
+	Loss  float64 `json:"loss"`
+}
+
+func qualityPoints(pts []core.QualityPoint) []qualityJSON {
+	out := make([]qualityJSON, len(pts))
+	for i, q := range pts {
+		out[i] = qualityJSON{P: q.P, Areas: q.Areas, Gain: q.Gain, Loss: q.Loss}
+	}
+	return out
+}
+
+func (s *Server) handleSignificant(w http.ResponseWriter, r *http.Request) {
+	eps, err := floatParam(r.URL.Query(), "eps", 1e-3)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, in, ok := s.inputFor(w, r)
+	if !ok {
+		return
+	}
+	points, err := in.SignificantPs(eps)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Trace  string        `json:"trace"`
+		Eps    float64       `json:"eps"`
+		Window windowJSON    `json:"window"`
+		Points []qualityJSON `json:"points"`
+	}{Trace: tr.ID, Eps: eps, Window: windowOf(in), Points: qualityPoints(points)})
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	ps, err := psParam(r.URL.Query().Get("ps"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	tr, in, ok := s.inputFor(w, r)
+	if !ok {
+		return
+	}
+	points, err := in.SweepQuality(ps)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Trace  string        `json:"trace"`
+		Window windowJSON    `json:"window"`
+		Points []qualityJSON `json:"points"`
+	}{Trace: tr.ID, Window: windowOf(in), Points: qualityPoints(points)})
+}
+
+// maxQualityPs caps the /quality sweep size: each entry is an O(|S|·|T|³)
+// solve, and a request's work must stay bounded (the request timeout
+// reports failure but cannot cancel a running sweep).
+const maxQualityPs = 128
+
+// psParam parses the comma-separated p list of /quality.
+func psParam(spec string) ([]float64, error) {
+	if spec == "" {
+		return []float64{0.1, 0.25, 0.5, 0.75, 0.9}, nil
+	}
+	parts := strings.Split(spec, ",")
+	if len(parts) > maxQualityPs {
+		return nil, fmt.Errorf("ps lists %d values, server cap is %d", len(parts), maxQualityPs)
+	}
+	ps := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad ps entry %q: %v", part, err)
+		}
+		ps = append(ps, v)
+	}
+	return ps, nil
+}
+
+// maxRenderDim caps /render's width/height: a PNG allocates 4·W·H bytes
+// before a single rect is drawn, so unbounded dimensions would let one
+// request exhaust the daemon the same way an unbounded |T| would.
+const maxRenderDim = 4096
+
+func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	p, err := floatParam(q, "p", 0.35)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	width, err := intParam(q, "width", 1000)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	height, err := intParam(q, "height", 600)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	if width > maxRenderDim || height > maxRenderDim {
+		httpErrorf(w, http.StatusBadRequest, "render dimensions %dx%d exceed the server cap %d", width, height, maxRenderDim)
+		return
+	}
+	minH, err := floatParam(q, "minheight", 2)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "png"
+	}
+	_, in, ok := s.inputFor(w, r)
+	if !ok {
+		return
+	}
+	pt, err := s.solve(in, p)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	sc := render.BuildScene(in, pt, render.Options{Width: width, Height: height, MinHeight: minH})
+	switch format {
+	case "png":
+		w.Header().Set("Content-Type", "image/png")
+		err = sc.PNG(w)
+	case "svg":
+		w.Header().Set("Content-Type", "image/svg+xml")
+		err = sc.SVG(w)
+	default:
+		httpErrorf(w, http.StatusBadRequest, "unknown format %q (want png or svg)", format)
+		return
+	}
+	if err != nil {
+		s.log.Error("render failed", "error", err)
+	}
+}
+
+func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.cache.Snapshot())
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/trace"
+	"ocelotl/internal/traceio"
+)
+
+// Trace is one loaded trace: its microscopic.Reslicer (the per-resource
+// event index every window build and incremental derivation goes through)
+// plus the metadata clients need to form window requests. Immutable after
+// load, so handlers share it without locking.
+type Trace struct {
+	ID       string
+	Path     string // source file, "" for traces loaded from memory
+	Events   int
+	LoadedAt time.Time
+
+	resl *microscopic.Reslicer
+	// gen distinguishes loads: an unload + reload of the same id gets a
+	// fresh generation, so cache keys of the old load (including builds
+	// still in flight during the unload) can never be served for the new
+	// one.
+	gen uint64
+}
+
+// Info summarizes a loaded trace for the JSON API.
+type Info struct {
+	ID        string   `json:"id"`
+	Path      string   `json:"path,omitempty"`
+	Events    int      `json:"events"`
+	Resources int      `json:"resources"`
+	States    []string `json:"states"`
+	Start     float64  `json:"start"`
+	End       float64  `json:"end"`
+	LoadedAt  string   `json:"loaded_at"`
+}
+
+// Info renders the trace's metadata.
+func (t *Trace) Info() Info {
+	start, end := t.resl.TraceWindow()
+	return Info{
+		ID:        t.ID,
+		Path:      t.Path,
+		Events:    t.Events,
+		Resources: t.resl.Hierarchy().NumLeaves(),
+		States:    t.resl.States(),
+		Start:     start,
+		End:       end,
+		LoadedAt:  t.LoadedAt.UTC().Format(time.RFC3339),
+	}
+}
+
+// Registry holds the long-lived per-trace state: one Reslicer (and its
+// hierarchy) per trace ID. Loading streams the trace once into the event
+// index; every subsequent window request is served from the index without
+// touching the file again.
+type Registry struct {
+	mu     sync.RWMutex
+	traces map[string]*Trace
+	now    func() time.Time
+	gen    atomic.Uint64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{traces: make(map[string]*Trace), now: time.Now}
+}
+
+// Load streams the trace file at path into a Reslicer and registers it
+// under id. Loading an id that already exists is an error (unload first);
+// concurrent loads of distinct ids proceed independently.
+func (r *Registry) Load(id, path string) (*Trace, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: trace id must not be empty")
+	}
+	r.mu.RLock()
+	_, exists := r.traces[id]
+	r.mu.RUnlock()
+	if exists {
+		return nil, fmt.Errorf("server: trace %q already loaded", id)
+	}
+	src, err := traceio.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	resl, err := microscopic.NewReslicerStream(src)
+	if err != nil {
+		return nil, err
+	}
+	return r.register(&Trace{ID: id, Path: path, resl: resl})
+}
+
+// LoadTrace registers an in-memory trace (tests and embedders).
+func (r *Registry) LoadTrace(id string, tr *trace.Trace) (*Trace, error) {
+	if id == "" {
+		return nil, fmt.Errorf("server: trace id must not be empty")
+	}
+	resl, err := microscopic.NewReslicer(tr)
+	if err != nil {
+		return nil, err
+	}
+	return r.register(&Trace{ID: id, resl: resl})
+}
+
+func (r *Registry) register(t *Trace) (*Trace, error) {
+	t.Events = t.resl.NumEvents()
+	t.LoadedAt = r.now()
+	t.gen = r.gen.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.traces[t.ID]; exists {
+		return nil, fmt.Errorf("server: trace %q already loaded", t.ID)
+	}
+	r.traces[t.ID] = t
+	return t, nil
+}
+
+// Get returns the trace registered under id.
+func (r *Registry) Get(id string) (*Trace, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	t, ok := r.traces[id]
+	return t, ok
+}
+
+// Remove unregisters id and reports whether it was present. The caller is
+// responsible for purging any cached Inputs derived from it.
+func (r *Registry) Remove(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.traces[id]
+	delete(r.traces, id)
+	return ok
+}
+
+// List returns the loaded traces' metadata, sorted by id.
+func (r *Registry) List() []Info {
+	r.mu.RLock()
+	out := make([]Info, 0, len(r.traces))
+	for _, t := range r.traces {
+		out = append(out, t.Info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -1,0 +1,219 @@
+// Package server is the serving layer over the aggregation engine: a
+// long-lived HTTP/JSON front-end that keeps one microscopic.Reslicer per
+// loaded trace (Registry) and a window-keyed, byte-budgeted LRU cache of
+// core.Inputs (InputCache) whose misses are derived incrementally from
+// the nearest cached overlapping window via Input.Update instead of a
+// from-scratch input pass. It is the interactive-analysis interface the
+// paper argues for, turned into a service: an analyst (or dashboard) pans
+// and zooms a spatiotemporal window and re-aggregates at chosen p values,
+// and the expensive O(|X|·|H(S)|·|T|²) input pass is paid only for the
+// slices that actually changed.
+//
+// Layering: traceio streams events → microscopic indexes them (Reslicer)
+// → core builds Inputs and answers p-queries from pooled, capacity-
+// bounded Solvers → server caches the Inputs per window and speaks JSON.
+//
+// Endpoints:
+//
+//	POST   /traces                      load a trace file {"id","path"}
+//	GET    /traces                      list loaded traces
+//	GET    /traces/{id}                 one trace's metadata
+//	DELETE /traces/{id}                 unload (purges its cached windows)
+//	GET    /traces/{id}/aggregate       optimal partition at p over a window
+//	GET    /traces/{id}/significant     significant-p ladder over a window
+//	GET    /traces/{id}/quality         quality-curve samples at given ps
+//	GET    /traces/{id}/render          PNG/SVG view of the partition
+//	GET    /debug/cachestats            cache counters (hits/derived/...)
+//	GET    /healthz                     liveness
+//
+// Window selection is shared by every query endpoint: lo/hi (absolute
+// times, default: the whole trace), slices (|T|, default 30) and pan (a
+// slice shift applied on the window's grid, the interactive-pan path —
+// grid-exact, so a panned request is derivable from its anchor's cached
+// Input). Responses carry the build path (hit/derived/scratch/coalesced)
+// and build latency in X-Ocelotl-Build / X-Ocelotl-Build-Us headers,
+// keeping bodies byte-comparable across build paths.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"ocelotl/internal/core"
+)
+
+// Config tunes a Server.
+type Config struct {
+	// CacheBytes budgets the window-keyed Input cache (default 256 MiB;
+	// negative disables caching entirely).
+	CacheBytes int64
+	// Core configures every Input built by the server: normalization,
+	// worker count, and the solver-pool bound that caps per-Input query
+	// scratch (core.Options.SolverPoolBound).
+	Core core.Options
+	// RequestTimeout bounds each request's handling (default 30 s; ≤ 0
+	// disables the limit).
+	RequestTimeout time.Duration
+	// MaxSlices caps the slices (|T|) parameter of window requests
+	// (default DefaultMaxSlices). A single Input costs
+	// O(|H(S)|·|T|²) memory and the build is paid before the cache
+	// budget applies, so an unbounded |T| would let one request exhaust
+	// the daemon; over-limit requests are rejected with 400.
+	MaxSlices int
+	// Logger receives the structured per-request log (default
+	// slog.Default()).
+	Logger *slog.Logger
+}
+
+// DefaultCacheBytes is the Input-cache budget when Config.CacheBytes is 0.
+const DefaultCacheBytes = 256 << 20
+
+// DefaultMaxSlices is the per-request |T| cap when Config.MaxSlices is 0:
+// generous against the paper's 30 while keeping a single window's
+// triangular matrices (O(|H(S)|·|T|²)) bounded.
+const DefaultMaxSlices = 512
+
+// Server is the long-lived aggregation service: a registry of loaded
+// traces and the window-keyed Input cache serving every query endpoint.
+type Server struct {
+	reg       *Registry
+	cache     *InputCache
+	log       *slog.Logger
+	timeout   time.Duration
+	maxSlices int
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	budget := cfg.CacheBytes
+	if budget == 0 {
+		budget = DefaultCacheBytes
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
+	timeout := cfg.RequestTimeout
+	if timeout == 0 {
+		timeout = 30 * time.Second
+	}
+	maxSlices := cfg.MaxSlices
+	if maxSlices <= 0 {
+		maxSlices = DefaultMaxSlices
+	}
+	return &Server{
+		reg:       NewRegistry(),
+		cache:     NewInputCache(budget, cfg.Core),
+		log:       logger,
+		timeout:   timeout,
+		maxSlices: maxSlices,
+	}
+}
+
+// Registry exposes the trace registry (preloading at daemon startup).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// CacheStats exposes the cache counters (tests, metrics scrapers).
+func (s *Server) CacheStats() StatsSnapshot { return s.cache.Snapshot() }
+
+// Handler returns the fully assembled HTTP handler: routes, per-request
+// timeout, and structured request logging.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /traces", s.handleLoad)
+	mux.HandleFunc("GET /traces", s.handleList)
+	mux.HandleFunc("GET /traces/{id}", s.handleTraceInfo)
+	mux.HandleFunc("DELETE /traces/{id}", s.handleUnload)
+	mux.HandleFunc("GET /traces/{id}/aggregate", s.handleAggregate)
+	mux.HandleFunc("GET /traces/{id}/significant", s.handleSignificant)
+	mux.HandleFunc("GET /traces/{id}/quality", s.handleQuality)
+	mux.HandleFunc("GET /traces/{id}/render", s.handleRender)
+	mux.HandleFunc("GET /debug/cachestats", s.handleCacheStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	var h http.Handler = mux
+	if s.timeout > 0 {
+		h = http.TimeoutHandler(h, s.timeout, "request timed out\n")
+	}
+	return s.logRequests(h)
+}
+
+// statusWriter captures the status code for the request log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// logRequests emits one structured line per request: method, path,
+// status, total latency, and — for query endpoints — the cache build path
+// (hit / derived / scratch / coalesced) and build latency the handler
+// recorded in the response headers.
+func (s *Server) logRequests(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, r)
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		attrs := []any{
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", status,
+			"latency", time.Since(start),
+		}
+		if build := w.Header().Get(buildHeader); build != "" {
+			attrs = append(attrs, "build", build,
+				"build_latency_us", w.Header().Get(buildLatencyHeader))
+		}
+		s.log.Info("request", attrs...)
+	})
+}
+
+// buildHeader and buildLatencyHeader expose the cache build path without
+// touching the response body, so identical windows produce byte-identical
+// bodies whether served from cache, derivation or scratch.
+const (
+	buildHeader        = "X-Ocelotl-Build"
+	buildLatencyHeader = "X-Ocelotl-Build-Us"
+)
+
+// writeJSON serializes v with a trailing newline.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// errorJSON is the uniform error body.
+type errorJSON struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorJSON{Error: err.Error()})
+}
+
+func httpErrorf(w http.ResponseWriter, status int, format string, args ...any) {
+	httpError(w, status, fmt.Errorf(format, args...))
+}

@@ -1,0 +1,39 @@
+package server
+
+import "sync/atomic"
+
+// Stats are the cache's monotonic counters. Hits + Coalesced + Misses is
+// the total number of window requests; Derived + Scratch is the number of
+// builds actually executed (== Misses once nothing is in flight).
+type Stats struct {
+	Hits      atomic.Int64
+	Misses    atomic.Int64
+	Coalesced atomic.Int64
+	Derived   atomic.Int64
+	Scratch   atomic.Int64
+	Evictions atomic.Int64
+}
+
+// StatsSnapshot is the JSON form served by /debug/cachestats.
+type StatsSnapshot struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Coalesced   int64 `json:"coalesced"`
+	Derived     int64 `json:"derived_builds"`
+	Scratch     int64 `json:"scratch_builds"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	BudgetBytes int64 `json:"budget_bytes"`
+}
+
+func (s *Stats) snapshot() StatsSnapshot {
+	return StatsSnapshot{
+		Hits:      s.Hits.Load(),
+		Misses:    s.Misses.Load(),
+		Coalesced: s.Coalesced.Load(),
+		Derived:   s.Derived.Load(),
+		Scratch:   s.Scratch.Load(),
+		Evictions: s.Evictions.Load(),
+	}
+}

@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Run the root benchmark suite and emit BENCH_core.json (benchmark name →
 # ns/op, allocs/op, bytes/op) so successive PRs leave a comparable perf
-# trajectory in the repo.
+# trajectory in the repo. The suite covers the engine (input pass, Run,
+# sweeps), the windowing families (BenchmarkWindowPan/Zoom) and the
+# serving layer (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate
+# request through the HTTP handler per cache build path).
 #
 #   scripts/bench.sh                       # every benchmark, 1 iteration
 #   BENCH='BenchmarkWindow' scripts/bench.sh   # a subset
