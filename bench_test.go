@@ -11,11 +11,14 @@
 package ocelotl
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+	"time"
 
 	"ocelotl/internal/core"
 	"ocelotl/internal/grid5000"
@@ -346,6 +349,41 @@ func benchSignificantPs(b *testing.B, workers int) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSweepCancel measures the serving layer's cancellation latency:
+// how long after cancel() a mid-flight p-sweep takes to return — the time
+// a timed-out request keeps burning CPU past its deadline. The engine
+// promises one node-level check interval; the reported cancel-ns/op is
+// that interval measured (ns/op itself also includes the deliberate
+// let-it-start delay, so cancel-ns/op is the headline number).
+func BenchmarkSweepCancel(b *testing.B) {
+	m := scalingModel(b, 96, 40)
+	in := core.NewInput(m, core.Options{})
+	ps := make([]float64, 64)
+	for i := range ps {
+		ps[i] = float64(i) / float64(len(ps)-1)
+	}
+	var cancelLatency time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			_, err := in.SweepRunContext(ctx, ps)
+			done <- err
+		}()
+		time.Sleep(200 * time.Microsecond) // let solvers get in flight
+		start := time.Now()
+		cancel()
+		err := <-done
+		cancelLatency += time.Since(start)
+		if err != nil && !errors.Is(err, context.Canceled) {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(cancelLatency.Nanoseconds())/float64(b.N), "cancel-ns/op")
 }
 
 // ---------------------------------------------------------------------------

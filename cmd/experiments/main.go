@@ -16,9 +16,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ocelotl/internal/experiments"
@@ -36,6 +40,14 @@ func main() {
 	flag.Parse()
 	cfg := experiments.Config{OutDir: *outdir, Scale: *scale, Seed: *seed, Slices: *slices, Workers: *workers}
 
+	// SIGINT/SIGTERM cancel the run's context, which RunContext forwards
+	// into the engine sweeps: a batch run dies within one solve's worth of
+	// work instead of finishing figures nobody will look at. A second
+	// signal kills the process outright (NotifyContext stops listening
+	// after the first).
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	names := experiments.Names()
 	if *exp != "all" {
 		names = []string{*exp}
@@ -46,7 +58,11 @@ func main() {
 	for _, name := range names {
 		fmt.Printf("\n===== %s =====\n", name)
 		start := time.Now()
-		if err := experiments.Run(name, cfg); err != nil {
+		if err := experiments.RunContext(ctx, name, cfg); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintln(os.Stderr, "experiments: interrupted")
+				os.Exit(130)
+			}
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}

@@ -19,12 +19,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"ocelotl/internal/analysis"
@@ -65,6 +68,12 @@ func main() {
 	)
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the pipeline's context; the engine's ctx-aware
+	// entry points abandon the solve / significant-p dichotomy at their
+	// next node-level check instead of running the analysis to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
 	replaying := *panSeq != "" || *zoomSeq != ""
 	m, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to, replaying)
 	if err != nil {
@@ -79,7 +88,7 @@ func main() {
 	}
 
 	if *listP {
-		points, err := in.SignificantPs(1e-3)
+		points, err := in.SignificantPsContext(ctx, 1e-3)
 		if err != nil {
 			fatal(err)
 		}
@@ -90,7 +99,7 @@ func main() {
 		return
 	}
 
-	pt, err := runMode(m, in, *mode, *p)
+	pt, err := runMode(ctx, m, in, *mode, *p)
 	if err != nil {
 		fatal(err)
 	}
@@ -230,10 +239,10 @@ func replayWindow(log io.Writer, in *core.Input, zoomSpec, panSpec string) (*cor
 	return in, nil
 }
 
-func runMode(m *microscopic.Model, in *core.Input, mode string, p float64) (*partition.Partition, error) {
+func runMode(ctx context.Context, m *microscopic.Model, in *core.Input, mode string, p float64) (*partition.Partition, error) {
 	switch mode {
 	case "st":
-		return in.NewSolver().Run(p)
+		return in.NewSolver().RunContext(ctx, p)
 	case "spatial":
 		return spatial.New(m).Run(p)
 	case "temporal":

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -79,7 +80,7 @@ func TestRunModeAll(t *testing.T) {
 	}
 	in := core.NewInput(m, core.Options{})
 	for _, mode := range []string{"st", "spatial", "temporal", "product"} {
-		pt, err := runMode(m, in, mode, 0.4)
+		pt, err := runMode(context.Background(), m, in, mode, 0.4)
 		if err != nil {
 			t.Errorf("mode %s: %v", mode, err)
 			continue
@@ -88,7 +89,7 @@ func TestRunModeAll(t *testing.T) {
 			t.Errorf("mode %s: invalid partition: %v", mode, err)
 		}
 	}
-	if _, err := runMode(m, in, "bogus", 0.4); err == nil {
+	if _, err := runMode(context.Background(), m, in, "bogus", 0.4); err == nil {
 		t.Error("unknown mode accepted")
 	}
 }

@@ -13,7 +13,12 @@
 // capacity-bounded solver pool, and window changes are incremental —
 // microscopic.Reslicer keeps a per-resource event index and
 // core.Input.Update rebuilds only what the new slices touch, so a zoom
-// or pan costs O(changed slices), not a fresh input pass.
+// or pan costs O(changed slices), not a fresh input pass. Queries whose
+// answer stops mattering stop costing: every engine entry point has a
+// context-aware twin (RunContext, SweepRunContext, SignificantPsContext,
+// AcquireSolverContext) that cancels cooperatively at hierarchy-node
+// granularity, drains its goroutines, releases its pooled solvers, and
+// returns ctx.Err() with no partial results.
 //
 // The serving layer turns that into a long-lived service. The packages
 // layer traceio → microscopic → core → server: traceio streams trace
@@ -23,7 +28,11 @@
 // window-keyed, byte-budgeted LRU cache of those Inputs whose misses are
 // derived incrementally from the nearest cached overlapping window —
 // with singleflight deduplication, per-request build-path logging and
-// /debug/cachestats counters.
+// /debug/cachestats counters. Request contexts flow through the whole
+// serve path: a timed-out or disconnected request answers 499, counts
+// toward the "aborted" stat, and abandons its engine work; singleflight
+// build leaders detach from their first caller's context and die only
+// when every coalesced waiter has cancelled.
 //
 // The root package holds the benchmark harness (bench_test.go) that
 // regenerates every table and figure of the paper's evaluation, plus the

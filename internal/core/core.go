@@ -24,6 +24,18 @@
 // surviving slices pin down and recomputing only the O(Δ·|T|) cells per
 // node that touch new slices, bit-identically to a fresh build.
 //
+// Every query entry point has a context-aware twin (RunContext,
+// QualityContext, SweepRunContext, SweepQualityContext,
+// SignificantPsContext, AcquireSolverContext) for callers whose work can
+// become worthless mid-flight — a serving layer whose request timed out, a
+// CLI hit by SIGINT. Cancellation is cooperative at hierarchy-node
+// granularity: a cancelled call stops launching work, aborts in-flight
+// solves at their next node boundary, joins every goroutine it spawned,
+// returns every pooled solver, and reports ctx.Err() with no partial
+// results. The context-free names delegate to their twins with a
+// background context, so legacy callers pay only a nil-check per node and
+// get bit-identical results.
+//
 // Aggregator below is a thin compatibility facade over an Input (queries
 // run on the Input's solver pool); new code should use Input and Solver
 // directly.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -481,6 +482,28 @@ func (in *Input) InputCells() int { return len(in.gain) }
 // flight, AcquireSolver blocks until one is released, capping the peak
 // pooled scratch memory under any request concurrency.
 func (in *Input) AcquireSolver() *Solver {
+	s, _ := in.acquireSolver(context.Background())
+	return s
+}
+
+// AcquireSolverContext is AcquireSolver with a way out: a caller blocked at
+// the pool bound (every solver in flight) gives up when ctx is cancelled
+// and gets ctx.Err() instead of a solver. An already-cancelled ctx fails
+// immediately, so a request whose deadline expired never claims scratch it
+// cannot use. On success the caller owns the solver exactly as with
+// AcquireSolver and must ReleaseSolver it.
+func (in *Input) AcquireSolverContext(ctx context.Context) (*Solver, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return in.acquireSolver(ctx)
+}
+
+// acquireSolver implements both acquire paths: a non-blocking grab of an
+// idle solver first, then a blocking wait on a release or a creation slot,
+// abandoned if ctx cancels (a background ctx never does — its nil Done
+// channel makes that select arm unreachable).
+func (in *Input) acquireSolver(ctx context.Context) (*Solver, error) {
 	var s *Solver
 	select {
 	case s = <-in.solverFree:
@@ -490,10 +513,12 @@ func (in *Input) AcquireSolver() *Solver {
 		case in.solverTokens <- struct{}{}: // claim a creation slot
 			s = in.NewSolver()
 			in.solversLive.Add(1)
+		case <-ctx.Done():
+			return nil, ctx.Err()
 		}
 	}
 	s.Workers = in.workers
-	return s
+	return s, nil
 }
 
 // ReleaseSolver returns a Solver obtained from AcquireSolver to the pool,

@@ -7,6 +7,7 @@ import (
 
 	"ocelotl/internal/microscopic"
 	"ocelotl/internal/mpisim"
+	"ocelotl/internal/testutil"
 )
 
 func poolTestInput(t *testing.T, opt Options) *Input {
@@ -33,6 +34,7 @@ func TestSolverPoolBoundDefaultsToWorkers(t *testing.T) {
 // more acquire blocks, and that releasing unblocks it — the memory-cap
 // contract: at most bound solvers' scratch ever exists.
 func TestSolverPoolBlocksAtBound(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	in := poolTestInput(t, Options{Workers: 1, SolverPoolBound: 2})
 	s1 := in.AcquireSolver()
 	s2 := in.AcquireSolver()
@@ -84,6 +86,7 @@ func TestSolverPoolBoundSurvivesUpdate(t *testing.T) {
 // bound allows; everything must complete (no deadlock, no lost wakeups)
 // and answers must match the sequential result.
 func TestSolverPoolUnderChurn(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	in := poolTestInput(t, Options{Workers: 2, SolverPoolBound: 2})
 	want, err := in.NewSolver().Run(0.5)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -47,15 +48,31 @@ func (in *Input) NewSolver() *Solver {
 // in favor of aggregation (strict improvement is required to cut), exactly
 // as in the paper's pseudocode.
 func (s *Solver) Run(p float64) (*partition.Partition, error) {
+	return s.RunContext(context.Background(), p)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked once per
+// hierarchy node before its triangular iteration (the O(|T|²·|T|) unit of
+// work), so a cancelled query returns ctx.Err() within one node's worth of
+// computation — and, in the parallel path, after every in-flight subtree
+// goroutine has been joined, so no work outlives the call. A cancelled run
+// returns no partition; the solver's scratch is left in an undefined state
+// but is fully overwritten by the next run, so the solver stays reusable
+// (and poolable). With a never-cancelled ctx the computation is
+// bit-identical to Run.
+func (s *Solver) RunContext(ctx context.Context, p float64) (*partition.Partition, error) {
 	if p < 0 || p > 1 || math.IsNaN(p) {
 		return nil, fmt.Errorf("core: p = %v out of [0,1]", p)
 	}
 	ep := s.in.effectiveP(p)
 	if s.Workers > 1 {
 		sem := make(chan struct{}, s.Workers)
-		s.computeOptimalParallel(s.in.rootID, ep, sem)
+		s.computeOptimalParallel(ctx, s.in.rootID, ep, sem)
 	} else {
-		s.computeOptimal(s.in.rootID, ep)
+		s.computeOptimal(ctx, s.in.rootID, ep)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	pt := &partition.Partition{P: p}
 	s.recover(s.in.rootID, 0, s.in.T-1, pt)
@@ -66,7 +83,12 @@ func (s *Solver) Run(p float64) (*partition.Partition, error) {
 
 // Quality runs the algorithm at p and summarizes the result.
 func (s *Solver) Quality(p float64) (QualityPoint, error) {
-	pt, err := s.Run(p)
+	return s.QualityContext(context.Background(), p)
+}
+
+// QualityContext is Quality with cooperative cancellation (see RunContext).
+func (s *Solver) QualityContext(ctx context.Context, p float64) (QualityPoint, error) {
+	pt, err := s.RunContext(ctx, p)
 	if err != nil {
 		return QualityPoint{}, err
 	}
@@ -77,8 +99,13 @@ func (s *Solver) Quality(p float64) (QualityPoint, error) {
 // concurrently: a node's triangular iteration only reads its children's
 // completed pIC matrices, so the tree decomposes into independent tasks
 // joined bottom-up. The semaphore caps in-flight goroutines; results are
-// identical to the sequential pass.
-func (s *Solver) computeOptimalParallel(id int, p float64, sem chan struct{}) {
+// identical to the sequential pass. Cancellation is checked per node:
+// a cancelled ctx stops descending and skips the iteration, but every
+// spawned goroutine is still joined before returning.
+func (s *Solver) computeOptimalParallel(ctx context.Context, id int, p float64, sem chan struct{}) {
+	if ctx.Err() != nil {
+		return
+	}
 	children := s.in.meta[id].children
 	if len(children) > 1 {
 		var wg sync.WaitGroup
@@ -89,18 +116,21 @@ func (s *Solver) computeOptimalParallel(id int, p float64, sem chan struct{}) {
 				go func(c int32) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					s.computeOptimalParallel(int(c), p, sem)
+					s.computeOptimalParallel(ctx, int(c), p, sem)
 				}(c)
 			default:
 				// Pool saturated: recurse inline rather than queue.
-				s.computeOptimalParallel(int(c), p, sem)
+				s.computeOptimalParallel(ctx, int(c), p, sem)
 			}
 		}
 		wg.Wait()
 	} else {
 		for _, c := range children {
-			s.computeOptimalParallel(int(c), p, sem)
+			s.computeOptimalParallel(ctx, int(c), p, sem)
 		}
+	}
+	if ctx.Err() != nil {
+		return
 	}
 	s.iterateCells(id, p)
 }
@@ -108,10 +138,18 @@ func (s *Solver) computeOptimalParallel(id int, p float64, sem chan struct{}) {
 // computeOptimal is procedure node.COMPUTEOPTIMALPARTITION(p) of
 // Algorithm 1: children first (spatial recursion), then the triangular
 // iteration from the last line to the first, evaluating for each cell the
-// "no cut", "spatial cut" and every "temporal cut" alternative.
-func (s *Solver) computeOptimal(id int, p float64) {
+// "no cut", "spatial cut" and every "temporal cut" alternative. The
+// context is checked once per node, bounding the latency of a cancel to
+// one triangular iteration.
+func (s *Solver) computeOptimal(ctx context.Context, id int, p float64) {
+	if ctx.Err() != nil {
+		return
+	}
 	for _, c := range s.in.meta[id].children {
-		s.computeOptimal(int(c), p)
+		s.computeOptimal(ctx, int(c), p)
+	}
+	if ctx.Err() != nil {
+		return
 	}
 	s.iterateCells(id, p)
 }

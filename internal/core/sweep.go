@@ -2,6 +2,7 @@ package core
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -30,16 +31,30 @@ func qualityOf(p float64, pt *partition.Partition) QualityPoint {
 // because cross-query parallelism already saturates the worker pool;
 // results are bit-identical to solving each p sequentially.
 func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
+	return in.SweepRunContext(context.Background(), ps)
+}
+
+// SweepRunContext is SweepRun with cooperative cancellation: once ctx is
+// cancelled no further query starts, every in-flight query aborts at its
+// next node-level check, every worker goroutine is drained, every pooled
+// solver is released, and the call returns ctx.Err() with no partial
+// result slice — callers never see a sweep that is half partitions, half
+// holes. With a never-cancelled ctx the computation and result are
+// bit-identical to SweepRun.
+func (in *Input) SweepRunContext(ctx context.Context, ps []float64) ([]*partition.Partition, error) {
 	out := make([]*partition.Partition, len(ps))
 	workers := in.workers
 	if workers > len(ps) {
 		workers = len(ps)
 	}
 	if workers <= 1 {
-		s := in.AcquireSolver()
+		s, err := in.AcquireSolverContext(ctx)
+		if err != nil {
+			return nil, err
+		}
 		defer in.ReleaseSolver(s)
 		for i, p := range ps {
-			pt, err := s.Run(p)
+			pt, err := s.RunContext(ctx, p)
 			if err != nil {
 				return nil, err
 			}
@@ -47,14 +62,18 @@ func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 		}
 		return out, nil
 	}
-	errs := make([]error, len(ps))
+	errs := make([]error, workers)
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			s := in.AcquireSolver()
+			s, err := in.AcquireSolverContext(ctx)
+			if err != nil {
+				errs[w] = err
+				return
+			}
 			defer in.ReleaseSolver(s)
 			s.Workers = 1
 			for {
@@ -62,11 +81,16 @@ func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 				if i >= len(ps) {
 					return
 				}
-				out[i], errs[i] = s.Run(ps[i])
+				if out[i], errs[w] = s.RunContext(ctx, ps[i]); errs[w] != nil {
+					return
+				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -77,7 +101,12 @@ func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 
 // SweepQuality is SweepRun reduced to quality-curve samples.
 func (in *Input) SweepQuality(ps []float64) ([]QualityPoint, error) {
-	pts, err := in.SweepRun(ps)
+	return in.SweepQualityContext(context.Background(), ps)
+}
+
+// SweepQualityContext is SweepRunContext reduced to quality-curve samples.
+func (in *Input) SweepQualityContext(ctx context.Context, ps []float64) ([]QualityPoint, error) {
+	pts, err := in.SweepRunContext(ctx, ps)
 	if err != nil {
 		return nil, err
 	}
@@ -117,17 +146,30 @@ func (g *gapHeap) Pop() any          { old := *g; n := len(old); x := old[n-1]; 
 // so the sampled p set — and therefore the returned point set — is
 // identical to the sequential recursion's.
 func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
+	return in.SignificantPsContext(context.Background(), eps)
+}
+
+// SignificantPsContext is SignificantPs with cooperative cancellation: a
+// cancelled ctx stops the frontier from launching further midpoints, wakes
+// every worker parked on the frontier, aborts in-flight solves at their
+// next node-level check, releases every pooled solver and returns ctx.Err()
+// — never a partially explored ladder. With a never-cancelled ctx the
+// exploration and result are bit-identical to SignificantPs.
+func (in *Input) SignificantPsContext(ctx context.Context, eps float64) ([]QualityPoint, error) {
 	if eps <= 0 {
 		eps = 1e-4
 	}
 	if in.workers <= 1 {
-		return in.significantPsSeq(eps)
+		return in.significantPsSeq(ctx, eps)
 	}
 	quality := func(p float64) (QualityPoint, error) {
-		s := in.AcquireSolver()
+		s, err := in.AcquireSolverContext(ctx)
+		if err != nil {
+			return QualityPoint{}, err
+		}
 		defer in.ReleaseSolver(s)
 		s.Workers = 1
-		return s.Quality(p)
+		return s.QualityContext(ctx, p)
 	}
 	lo, err := quality(0)
 	if err != nil {
@@ -151,6 +193,26 @@ func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 	if expandable(lo, hi) {
 		heap.Push(&frontier, gapInterval{lo, hi})
 	}
+	// Workers park on the cond while the frontier is empty, which a ctx
+	// cancel cannot interrupt by itself; this watcher turns the cancel into
+	// a recorded firstErr plus a broadcast, so parked workers wake up and
+	// exit. It is stopped (and joined, for leak-free shutdown) as soon as
+	// the frontier drains.
+	watcherDone := make(chan struct{})
+	stopWatcher := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		select {
+		case <-ctx.Done():
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = ctx.Err()
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		case <-stopWatcher:
+		}
+	}()
 	var wg sync.WaitGroup
 	for w := 0; w < in.workers; w++ {
 		wg.Add(1)
@@ -197,22 +259,30 @@ func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 		}()
 	}
 	wg.Wait()
+	close(stopWatcher)
+	<-watcherDone
 	if firstErr != nil {
 		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	return sortedPoints(points), nil
 }
 
 // significantPsSeq is the Workers == 1 exploration: one pooled Solver, the
 // plain recursive dichotomy of the original algorithm.
-func (in *Input) significantPsSeq(eps float64) ([]QualityPoint, error) {
-	s := in.AcquireSolver()
-	defer in.ReleaseSolver(s)
-	lo, err := s.Quality(0)
+func (in *Input) significantPsSeq(ctx context.Context, eps float64) ([]QualityPoint, error) {
+	s, err := in.AcquireSolverContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	hi, err := s.Quality(1)
+	defer in.ReleaseSolver(s)
+	lo, err := s.QualityContext(ctx, 0)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := s.QualityContext(ctx, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -223,7 +293,7 @@ func (in *Input) significantPsSeq(eps float64) ([]QualityPoint, error) {
 		if l.Signature == h.Signature || h.P-l.P <= eps || firstErr != nil {
 			return
 		}
-		mid, err := s.Quality((l.P + h.P) / 2)
+		mid, err := s.QualityContext(ctx, (l.P+h.P)/2)
 		if err != nil {
 			firstErr = err
 			return

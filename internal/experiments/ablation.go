@@ -50,7 +50,7 @@ func RunAblation(cfg Config) error {
 	// The spatiotemporal curve is sampled concurrently (one solver per p
 	// against the shared input); reporting stays in p order.
 	ps := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
-	corePts, err := in.SweepRun(ps)
+	corePts, err := in.SweepRunContext(cfg.context(), ps)
 	if err != nil {
 		return err
 	}
@@ -77,7 +77,7 @@ func RunAblation(cfg Config) error {
 	cfg.printf("   %d intervals in %v\n", tp.NumAreas(), time.Since(start).Round(time.Microsecond))
 
 	cfg.println("\n5. significant-p ladder (slider stops):")
-	points, err := in.SignificantPs(1e-3)
+	points, err := in.SignificantPsContext(cfg.context(), 1e-3)
 	if err != nil {
 		return err
 	}

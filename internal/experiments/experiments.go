@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -35,6 +36,18 @@ type Config struct {
 	// prep memoizes prepared cases across the experiments of one Run so
 	// independent cases batch across the worker pool (see batch.go).
 	prep *casePrep
+
+	// ctx carries RunContext's cancellation into the engine sweeps the
+	// experiments drive; nil means context.Background().
+	ctx context.Context
+}
+
+// context resolves the run's cancellation context.
+func (c Config) context() context.Context {
+	if c.ctx != nil {
+		return c.ctx
+	}
+	return context.Background()
 }
 
 func (c Config) out() io.Writer {
@@ -96,6 +109,15 @@ func Prepare(cfg Config, names ...string) Config {
 // run prebuilds the cases the figure experiments share across the worker
 // pool (multi-trace batching) before executing the experiments in order.
 func Run(name string, cfg Config) error {
+	return RunContext(context.Background(), name, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is checked between
+// experiments (and between the per-case stages of the batch ones), and is
+// forwarded into every engine sweep an experiment drives, so a signalled
+// batch run stops within one solve's worth of work instead of finishing
+// figures nobody will look at.
+func RunContext(ctx context.Context, name string, cfg Config) error {
 	if cfg.OutDir != "" {
 		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
 			return err
@@ -104,6 +126,7 @@ func Run(name string, cfg Config) error {
 	if cfg.prep == nil {
 		cfg.prep = newCasePrep()
 	}
+	cfg.ctx = ctx
 	fns := map[string]func(Config) error{
 		"table1": RunTable1, "fig3": RunFig3, "table2": RunTable2,
 		"fig1": RunFig1, "fig2": RunFig2, "fig4": RunFig4, "ablation": RunAblation,
@@ -112,6 +135,9 @@ func Run(name string, cfg Config) error {
 	if name == "all" {
 		cfg.prebuild(casesFor(Names()))
 		for _, n := range Names() {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fns[n](cfg); err != nil {
 				return fmt.Errorf("%s: %w", n, err)
 			}

@@ -95,7 +95,7 @@ func RunFig3(cfg Config) error {
 	// 3.d/3.e: the optimal spatiotemporal partitions at two significant
 	// p values (the paper shows 56 then 15 areas; exact counts depend on
 	// the synthetic data, the ordering is the reproduced shape).
-	points, err := in.SignificantPs(1e-3)
+	points, err := in.SignificantPsContext(cfg.context(), 1e-3)
 	if err != nil {
 		return err
 	}
@@ -103,7 +103,7 @@ func RunFig3(cfg Config) error {
 	pd, pe := pickFigPs(points)
 	// The two sampled granularities are independent queries; solve them
 	// concurrently against the shared input.
-	figPts, err := in.SweepRun([]float64{pd, pe})
+	figPts, err := in.SweepRunContext(cfg.context(), []float64{pd, pe})
 	if err != nil {
 		return err
 	}

@@ -23,6 +23,11 @@ func RunTable2(cfg Config) error {
 	cfg.printf("%-6s %-4s %-6s %-10s %12s %10s %12s %14s %12s\n",
 		"Case", "App", "Class", "Procs", "Events", "Trace MB", "Reading", "Microscopic", "Aggregation")
 	for _, c := range grid5000.AllCases() {
+		// Each case generates, re-reads and aggregates a whole trace; honor
+		// an interrupt between cases rather than finishing the table.
+		if err := cfg.context().Err(); err != nil {
+			return err
+		}
 		sc, err := grid5000.Scenarios(c)
 		if err != nil {
 			return err
@@ -108,7 +113,7 @@ func measureCase(cfg Config, sc grid5000.Scenario) (table2Row, error) {
 	// Stage 3: aggregation (input matrices + one Algorithm 1 run).
 	row.agg, err = timed(func() error {
 		in := core.NewInput(m, core.Options{})
-		_, err := in.NewSolver().Run(0.5)
+		_, err := in.NewSolver().RunContext(cfg.context(), 0.5)
 		return err
 	})
 	return row, err

@@ -2,6 +2,7 @@ package server
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"sync"
 
@@ -48,12 +49,23 @@ type entry struct {
 }
 
 // flight is one in-flight build; concurrent requests for the same key
-// wait on done instead of building again.
+// wait on done instead of building again. The build runs under the
+// flight's own context, detached from the leader's request: a singleflight
+// result is shared, so one impatient caller must not kill work other
+// callers still want. Instead every participant (leader included) holds a
+// waiter reference; a caller whose request context dies drops its
+// reference, and when the count reaches zero — every response that would
+// have carried this Input has been abandoned — cancel fires and the build
+// aborts at its next check.
 type flight struct {
 	done chan struct{}
 	in   *core.Input
 	kind BuildKind
 	err  error
+
+	ctx     context.Context // the build's detached context
+	cancel  context.CancelFunc
+	waiters int // guarded by the cache mu; leader counts as one
 }
 
 // InputCache is the window-keyed Input cache of the serving layer: an LRU
@@ -105,7 +117,33 @@ func keyFor(tr *Trace, sl timeslice.Slicer) windowKey {
 // Get returns the Input for the trace restricted to sl's window, and how
 // it was obtained. The returned Input is immutable and remains valid
 // after eviction; callers never hold cache locks while using it.
-func (c *InputCache) Get(tr *Trace, sl timeslice.Slicer) (*core.Input, BuildKind, error) {
+//
+// ctx is the caller's request context. A cache hit is served regardless
+// (it costs one map lookup). On a miss the build runs under the flight's
+// detached context (see flight); ctx only governs this caller's stake in
+// it — an already-cancelled ctx returns ctx.Err() before any work starts,
+// and a ctx cancelled mid-wait abandons the flight (the build itself dies
+// only once every waiter has abandoned it).
+//
+// A cancellation error is therefore only ever this caller's own: a live
+// request that runs into a flight all of whose waiters already cancelled
+// does not inherit the dying build's ctx.Err() — it waits out the
+// abandoned flight's unwind and retries with a fresh build.
+func (c *InputCache) Get(ctx context.Context, tr *Trace, sl timeslice.Slicer) (*core.Input, BuildKind, error) {
+	for {
+		in, kind, err := c.getOnce(ctx, tr, sl)
+		if err != nil && isCancellation(err) && ctx.Err() == nil {
+			// The flight this caller coalesced onto was abandoned by its
+			// other waiters and died with their cancellation, not ours.
+			// The flight is (or is about to be) out of the inflight map;
+			// go again and build it for real.
+			continue
+		}
+		return in, kind, err
+	}
+}
+
+func (c *InputCache) getOnce(ctx context.Context, tr *Trace, sl timeslice.Slicer) (*core.Input, BuildKind, error) {
 	key := keyFor(tr, sl)
 
 	c.mu.Lock()
@@ -117,22 +155,49 @@ func (c *InputCache) Get(tr *Trace, sl timeslice.Slicer) (*core.Input, BuildKind
 		c.mu.Unlock()
 		return in, BuildHit, nil
 	}
-	if f, ok := c.inflight[key]; ok {
-		c.stats.Coalesced.Add(1)
+	if err := ctx.Err(); err != nil {
+		// Expired before any build work: fail fast rather than start (or
+		// pile onto) a build whose response this caller will never read.
 		c.mu.Unlock()
-		<-f.done
+		return nil, "", err
+	}
+	if f, ok := c.inflight[key]; ok {
+		if f.ctx.Err() != nil {
+			// Every waiter already abandoned this flight; its build is
+			// unwinding toward a cancellation error. Joining it would only
+			// inherit that error — wait out the unwind instead, then let
+			// the caller's retry start a fresh flight.
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+				return nil, BuildCoalesced, context.Canceled
+			case <-ctx.Done():
+				return nil, BuildCoalesced, ctx.Err()
+			}
+		}
+		c.stats.Coalesced.Add(1)
+		f.waiters++
+		c.mu.Unlock()
+		c.watchWaiter(f, ctx)
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, BuildCoalesced, ctx.Err()
+		}
 		if f.err != nil {
 			return nil, BuildCoalesced, f.err
 		}
 		return f.in, BuildCoalesced, nil
 	}
-	f := &flight{done: make(chan struct{})}
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	f := &flight{done: make(chan struct{}), ctx: fctx, cancel: cancel, waiters: 1}
 	c.inflight[key] = f
 	c.stats.Misses.Add(1)
 	src, aligned := c.nearestLocked(tr, sl)
 	c.mu.Unlock()
+	c.watchWaiter(f, ctx)
 
-	f.in, f.kind, f.err = c.build(tr, sl, src, aligned)
+	f.in, f.kind, f.err = c.build(fctx, tr, sl, src, aligned)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -141,7 +206,33 @@ func (c *InputCache) Get(tr *Trace, sl timeslice.Slicer) (*core.Input, BuildKind
 	}
 	c.mu.Unlock()
 	close(f.done)
+	cancel() // release the flight context's resources
 	return f.in, f.kind, f.err
+}
+
+// watchWaiter ties one caller's request context to a flight: when the
+// caller's ctx dies, its waiter reference is dropped, and the last drop
+// cancels the flight's build context. The goroutine exits as soon as the
+// flight completes, so a finished flight pins nothing. Contexts that can
+// never be cancelled (ctx.Done() == nil, e.g. context.Background()) hold
+// their reference forever without spawning anything.
+func (c *InputCache) watchWaiter(f *flight, ctx context.Context) {
+	if ctx.Done() == nil {
+		return
+	}
+	go func() {
+		select {
+		case <-ctx.Done():
+			c.mu.Lock()
+			f.waiters--
+			abandoned := f.waiters == 0
+			c.mu.Unlock()
+			if abandoned {
+				f.cancel()
+			}
+		case <-f.done:
+		}
+	}()
 }
 
 // nearestLocked finds the cached window of the same trace load and slice
@@ -195,20 +286,47 @@ func reanchor(base, target timeslice.Slicer) (timeslice.Slicer, bool) {
 	return cand, true
 }
 
+// testHookBuildStart, when set by a test, runs at the start of every
+// flight's build with the flight's detached context, letting tests hold a
+// build in place and observe the all-waiters-cancelled semantics
+// deterministically.
+var testHookBuildStart func(context.Context)
+
 // build produces the Input for sl outside the cache lock: derived from
 // src when a neighbor overlaps, from scratch otherwise. src.in is
 // immutable, so the build is safe even if the entry is evicted meanwhile.
-func (c *InputCache) build(tr *Trace, sl timeslice.Slicer, src *entry, aligned timeslice.Slicer) (*core.Input, BuildKind, error) {
+// ctx is the flight's detached context: it is checked between the build's
+// stages (model fill, input pass), so a flight every waiter abandoned
+// stops before its most expensive step rather than parking a dead Input
+// in the cache.
+func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, src *entry, aligned timeslice.Slicer) (*core.Input, BuildKind, error) {
+	if testHookBuildStart != nil {
+		testHookBuildStart(ctx)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
 	if src != nil {
 		if ov := microscopic.GridOverlap(src.in.Model.Slicer, aligned); ov.Shared() {
 			m, shiftOv := tr.resl.Shift(src.in.Model, ov.Shift())
+			if err := ctx.Err(); err != nil {
+				return nil, "", err
+			}
 			c.stats.Derived.Add(1)
 			return src.in.Update(m, shiftOv), BuildDerived, nil
 		}
 	}
+	m := tr.resl.BuildAt(sl)
+	if err := ctx.Err(); err != nil {
+		return nil, "", err
+	}
 	c.stats.Scratch.Add(1)
-	return core.NewInput(tr.resl.BuildAt(sl), c.opts), BuildScratch, nil
+	return core.NewInput(m, c.opts), BuildScratch, nil
 }
+
+// noteAborted records one cancelled request in the serve stats; the
+// handlers call it whenever they map a cancellation to a client response.
+func (c *InputCache) noteAborted() { c.stats.Aborted.Add(1) }
 
 // insertLocked caches in under key and evicts from the LRU tail until the
 // byte budget holds. The inserted entry itself is exempt from its own

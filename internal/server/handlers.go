@@ -1,7 +1,9 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"net/http"
@@ -16,6 +18,32 @@ import (
 	"ocelotl/internal/render"
 	"ocelotl/internal/timeslice"
 )
+
+// StatusClientClosedRequest is the 499 status (nginx's convention) the
+// server answers with when a request's work was abandoned because its
+// context died — the client went away or its deadline expired. The write
+// usually lands nowhere (the client is gone), but the status keeps the
+// request log and tests honest about why no real response was produced.
+const StatusClientClosedRequest = 499
+
+// isCancellation reports whether err is a context cancellation or
+// deadline expiry — the errors the engine's ctx-aware entry points return
+// when a request's work was abandoned rather than failed.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// abortIfCancelled maps a cancellation error to a 499 response and the
+// aborted counter; it reports whether it consumed the error. Handlers call
+// it first on any error coming back from a ctx-aware engine call.
+func (s *Server) abortIfCancelled(w http.ResponseWriter, err error) bool {
+	if err == nil || !isCancellation(err) {
+		return false
+	}
+	s.cache.noteAborted()
+	httpError(w, StatusClientClosedRequest, err)
+	return true
+}
 
 // loadRequest is the POST /traces body.
 type loadRequest struct {
@@ -151,7 +179,11 @@ func intParam(q url.Values, name string, def int) (int, error) {
 }
 
 // inputFor runs the window through the cache and records the build path
-// and latency in the response headers.
+// and latency in the response headers. The request's context rides along
+// into the cache fill: a request that is already dead (expired deadline,
+// disconnected client) is aborted with 499 before any build work, and one
+// that dies mid-build abandons its stake in the flight (see
+// InputCache.Get).
 func (s *Server) inputFor(w http.ResponseWriter, r *http.Request) (*Trace, *core.Input, bool) {
 	tr, ok := s.reg.Get(r.PathValue("id"))
 	if !ok {
@@ -164,9 +196,11 @@ func (s *Server) inputFor(w http.ResponseWriter, r *http.Request) (*Trace, *core
 		return nil, nil, false
 	}
 	start := time.Now()
-	in, kind, err := s.cache.Get(tr, sl)
+	in, kind, err := s.cache.Get(r.Context(), tr, sl)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		if !s.abortIfCancelled(w, err) {
+			httpError(w, http.StatusInternalServerError, err)
+		}
 		return nil, nil, false
 	}
 	w.Header().Set(buildHeader, string(kind))
@@ -220,9 +254,11 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pt, err := s.solve(in, p)
+	pt, err := s.solve(r.Context(), in, p)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		if !s.abortIfCancelled(w, err) {
+			httpError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	resp := aggregateJSON{
@@ -256,10 +292,16 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 }
 
 // solve runs one Algorithm 1 query on a pooled (capacity-bounded) Solver.
-func (s *Server) solve(in *core.Input, p float64) (*partition.Partition, error) {
-	solver := in.AcquireSolver()
+// The request context rides into both the (possibly blocking) pool
+// acquisition and the solve itself, so a dead request neither queues for
+// scratch nor finishes an O(|S|·|T|³) run nobody will read.
+func (s *Server) solve(ctx context.Context, in *core.Input, p float64) (*partition.Partition, error) {
+	solver, err := in.AcquireSolverContext(ctx)
+	if err != nil {
+		return nil, err
+	}
 	defer in.ReleaseSolver(solver)
-	return solver.Run(p)
+	return solver.RunContext(ctx, p)
 }
 
 // qualityJSON is one quality-curve sample.
@@ -288,9 +330,11 @@ func (s *Server) handleSignificant(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	points, err := in.SignificantPs(eps)
+	points, err := in.SignificantPsContext(r.Context(), eps)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err)
+		if !s.abortIfCancelled(w, err) {
+			httpError(w, http.StatusInternalServerError, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -311,9 +355,11 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	points, err := in.SweepQuality(ps)
+	points, err := in.SweepQualityContext(r.Context(), ps)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		if !s.abortIfCancelled(w, err) {
+			httpError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -324,8 +370,11 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 }
 
 // maxQualityPs caps the /quality sweep size: each entry is an O(|S|·|T|³)
-// solve, and a request's work must stay bounded (the request timeout
-// reports failure but cannot cancel a running sweep).
+// solve, and a request's admitted work should stay bounded up front even
+// though a timed-out request's sweep is now cancelled cooperatively (the
+// cap bounds the work between the last response byte wanted and the first
+// cancellation check; cancellation is a backstop, not an admission
+// policy).
 const maxQualityPs = 128
 
 // psParam parses the comma-separated p list of /quality.
@@ -387,9 +436,11 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	pt, err := s.solve(in, p)
+	pt, err := s.solve(r.Context(), in, p)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
+		if !s.abortIfCancelled(w, err) {
+			httpError(w, http.StatusBadRequest, err)
+		}
 		return
 	}
 	sc := render.BuildScene(in, pt, render.Options{Width: width, Height: height, MinHeight: minH})

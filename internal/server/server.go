@@ -33,6 +33,17 @@
 // Input). Responses carry the build path (hit/derived/scratch/coalesced)
 // and build latency in X-Ocelotl-Build / X-Ocelotl-Build-Us headers,
 // keeping bodies byte-comparable across build paths.
+//
+// Every request's context is plumbed through the cache fill and into the
+// engine's ctx-aware entry points (core.RunContext, SweepQualityContext,
+// SignificantPsContext, AcquireSolverContext), so a request whose client
+// disconnected or whose deadline expired stops consuming solver scratch
+// and CPU within one hierarchy-node check instead of running to
+// completion. Abandoned requests answer 499 and increment the "aborted"
+// counter in /debug/cachestats. Singleflight builds are the one deliberate
+// exception: a flight's build detaches from its leader's context (its
+// result is shared by every coalesced waiter) and is cancelled only when
+// all of its waiters have given up.
 package server
 
 import (
@@ -55,7 +66,10 @@ type Config struct {
 	// scratch (core.Options.SolverPoolBound).
 	Core core.Options
 	// RequestTimeout bounds each request's handling (default 30 s; ≤ 0
-	// disables the limit).
+	// disables the limit). The timeout arrives at the handlers as a
+	// deadline on the request context (http.TimeoutHandler), which the
+	// serve path forwards into the engine — so expiry does not merely
+	// report failure, it cancels the request's remaining solve/sweep work.
 	RequestTimeout time.Duration
 	// MaxSlices caps the slices (|T|) parameter of window requests
 	// (default DefaultMaxSlices). A single Input costs

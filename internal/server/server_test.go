@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -16,6 +17,7 @@ import (
 
 	"ocelotl/internal/core"
 	"ocelotl/internal/mpisim"
+	"ocelotl/internal/testutil"
 	"ocelotl/internal/timeslice"
 	"ocelotl/internal/traceio"
 )
@@ -194,6 +196,7 @@ func TestReanchoredWindowDerives(t *testing.T) {
 // TestSingleflight fires concurrent identical first-time requests; the
 // build must run exactly once, everything else coalescing onto it.
 func TestSingleflight(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	_, ts := newTestServer(t, quietConfig())
 
 	const n = 8
@@ -249,6 +252,7 @@ func httptestStats(t *testing.T, ts *httptest.Server) StatsSnapshot {
 // mixed windows and p values; run under -race this exercises the cache,
 // singleflight, bounded solver pool and handlers for data races.
 func TestConcurrentAggregates(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
 	s, ts := newTestServer(t, quietConfig())
 
 	const workers = 8
@@ -309,7 +313,7 @@ func TestEvictionUnderTinyBudget(t *testing.T) {
 	w2 := sl.Shift(16)
 	w3 := sl.Shift(32)
 	for _, w := range []timeslice.Slicer{w1, w2, w3} {
-		if _, kind, err := c.Get(tr, w); err != nil || kind != BuildScratch {
+		if _, kind, err := c.Get(context.Background(), tr, w); err != nil || kind != BuildScratch {
 			t.Fatalf("window %v: kind %v err %v, want scratch", w.Start, kind, err)
 		}
 	}
@@ -324,10 +328,10 @@ func TestEvictionUnderTinyBudget(t *testing.T) {
 		t.Fatalf("cached bytes %d exceed budget %d", st.Bytes, budget)
 	}
 	// w3 survived (most recent), w1 must rebuild.
-	if _, kind, _ := c.Get(tr, w3); kind != BuildHit {
+	if _, kind, _ := c.Get(context.Background(), tr, w3); kind != BuildHit {
 		t.Fatalf("w3: kind %v, want hit", kind)
 	}
-	if _, kind, _ := c.Get(tr, w1); kind != BuildScratch {
+	if _, kind, _ := c.Get(context.Background(), tr, w1); kind != BuildScratch {
 		t.Fatalf("w1 after eviction: kind %v, want scratch rebuild", kind)
 	}
 }
@@ -341,11 +345,11 @@ func TestDerivedMatchesScratchAtCacheLevel(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewInputCache(DefaultCacheBytes, core.Options{})
-	if _, kind, err := c.Get(tr, sl); err != nil || kind != BuildScratch {
+	if _, kind, err := c.Get(context.Background(), tr, sl); err != nil || kind != BuildScratch {
 		t.Fatalf("anchor: kind %v err %v", kind, err)
 	}
 	for _, k := range []int{1, -2, 7} {
-		derived, kind, err := c.Get(tr, sl.Shift(k))
+		derived, kind, err := c.Get(context.Background(), tr, sl.Shift(k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -478,7 +482,7 @@ func TestReloadedTraceDoesNotHitStaleCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, kind, err := c.Get(trOld, sl); err != nil || kind != BuildScratch {
+	if _, kind, err := c.Get(context.Background(), trOld, sl); err != nil || kind != BuildScratch {
 		t.Fatalf("old trace: kind %v err %v", kind, err)
 	}
 	// Unload + reload the same id (different content, new generation).
@@ -493,7 +497,7 @@ func TestReloadedTraceDoesNotHitStaleCache(t *testing.T) {
 	if trNew.gen == trOld.gen {
 		t.Fatal("reload reused the old generation")
 	}
-	in, kind, err := c.Get(trNew, sl)
+	in, kind, err := c.Get(context.Background(), trNew, sl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -512,7 +516,7 @@ func TestReloadedTraceDoesNotHitStaleCache(t *testing.T) {
 	if after.Entries != before.Entries || after.Bytes != before.Bytes {
 		t.Fatalf("stale insert was cached: %+v -> %+v", before, after)
 	}
-	if _, kind, _ := c.Get(trNew, sl.Shift(1)); kind == BuildHit {
+	if _, kind, _ := c.Get(context.Background(), trNew, sl.Shift(1)); kind == BuildHit {
 		t.Fatal("new generation hit a stale entry")
 	}
 }
@@ -539,7 +543,7 @@ func TestCacheAccountsForSolverPoolWarmup(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewInputCache(DefaultCacheBytes, core.Options{})
-	in, _, err := c.Get(tr, sl)
+	in, _, err := c.Get(context.Background(), tr, sl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -549,7 +553,7 @@ func TestCacheAccountsForSolverPoolWarmup(t *testing.T) {
 	if got := int64(in.MemoryBytes()); got <= cold {
 		t.Fatalf("MemoryBytes %d does not include pooled solver scratch (arenas alone: %d)", got, cold)
 	}
-	if _, kind, _ := c.Get(tr, sl); kind != BuildHit {
+	if _, kind, _ := c.Get(context.Background(), tr, sl); kind != BuildHit {
 		t.Fatal("expected a hit")
 	}
 	if warm := c.Snapshot().Bytes; warm <= cold {

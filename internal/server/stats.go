@@ -4,7 +4,11 @@ import "sync/atomic"
 
 // Stats are the cache's monotonic counters. Hits + Coalesced + Misses is
 // the total number of window requests; Derived + Scratch is the number of
-// builds actually executed (== Misses once nothing is in flight).
+// builds actually executed (== Misses once nothing is in flight, minus
+// builds abandoned by cancellation). Aborted counts requests dropped on
+// cancellation anywhere along the serve path — an expired deadline at
+// entry, an abandoned cache fill, or a solve/sweep cut short — i.e. work
+// whose response nobody was waiting for anymore.
 type Stats struct {
 	Hits      atomic.Int64
 	Misses    atomic.Int64
@@ -12,6 +16,7 @@ type Stats struct {
 	Derived   atomic.Int64
 	Scratch   atomic.Int64
 	Evictions atomic.Int64
+	Aborted   atomic.Int64
 }
 
 // StatsSnapshot is the JSON form served by /debug/cachestats.
@@ -22,6 +27,7 @@ type StatsSnapshot struct {
 	Derived     int64 `json:"derived_builds"`
 	Scratch     int64 `json:"scratch_builds"`
 	Evictions   int64 `json:"evictions"`
+	Aborted     int64 `json:"aborted"`
 	Entries     int   `json:"entries"`
 	Bytes       int64 `json:"bytes"`
 	BudgetBytes int64 `json:"budget_bytes"`
@@ -35,5 +41,6 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Derived:   s.Derived.Load(),
 		Scratch:   s.Scratch.Load(),
 		Evictions: s.Evictions.Load(),
+		Aborted:   s.Aborted.Load(),
 	}
 }

@@ -1,0 +1,73 @@
+package testutil
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSettlesToCatchesALeak parks a goroutine past the check window and
+// verifies the guard reports the excess instead of settling.
+func TestSettlesToCatchesALeak(t *testing.T) {
+	base := runtime.NumGoroutine()
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		<-release
+	}()
+	extra, ok := SettlesTo(base, 50*time.Millisecond)
+	if ok || extra < 1 {
+		t.Errorf("SettlesTo = (%d, %v) with a parked goroutine, want a reported leak", extra, ok)
+	}
+	close(release)
+	<-done
+}
+
+// TestSettlesToToleratesTransientGoroutines spawns goroutines that exit on
+// their own; the guard must wait them out rather than flag them.
+func TestSettlesToToleratesTransientGoroutines(t *testing.T) {
+	base := runtime.NumGoroutine()
+	for i := 0; i < 8; i++ {
+		go time.Sleep(20 * time.Millisecond)
+	}
+	if extra, ok := SettlesTo(base, 5*time.Second); !ok {
+		t.Errorf("SettlesTo reported %d leaked goroutines for self-terminating work", extra)
+	}
+}
+
+// TestGoroutineDumpNamesSuspects checks the dump carries the parked
+// goroutine's frames (the failure message must name the culprit).
+func TestGoroutineDumpNamesSuspects(t *testing.T) {
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go parkForDump(release, done)
+	// Give the goroutine a beat to park.
+	time.Sleep(10 * time.Millisecond)
+	dump := GoroutineDump()
+	if !strings.Contains(dump, "parkForDump") {
+		t.Errorf("goroutine dump does not name the parked goroutine:\n%s", dump)
+	}
+	// ... and filters the harness's own goroutines (this test's runner),
+	// so a failure message points at suspects, not scaffolding.
+	if strings.Contains(dump, "testing.tRunner") {
+		t.Errorf("goroutine dump includes test-harness scaffolding:\n%s", dump)
+	}
+	close(release)
+	<-done
+}
+
+func parkForDump(release, done chan struct{}) {
+	defer close(done)
+	<-release
+}
+
+// TestVerifyNoLeaksPasses is the happy path: a test that spawns and joins
+// everything must come out clean under the armed guard.
+func TestVerifyNoLeaksPasses(t *testing.T) {
+	VerifyNoLeaks(t)
+	done := make(chan struct{})
+	go close(done)
+	<-done
+}

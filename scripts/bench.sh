@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Run the root benchmark suite and emit BENCH_core.json (benchmark name →
-# ns/op, allocs/op, bytes/op) so successive PRs leave a comparable perf
-# trajectory in the repo. The suite covers the engine (input pass, Run,
-# sweeps), the windowing families (BenchmarkWindowPan/Zoom) and the
-# serving layer (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate
-# request through the HTTP handler per cache build path).
+# ns/op, allocs/op, bytes/op, plus any custom metric like
+# BenchmarkSweepCancel's cancel_ns_per_op: time-to-return after cancelling
+# a mid-flight sweep) so successive PRs leave a comparable perf trajectory
+# in the repo. The suite covers the engine (input pass, Run, sweeps,
+# cooperative cancellation), the windowing families
+# (BenchmarkWindowPan/Zoom) and the serving layer
+# (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate request through
+# the HTTP handler per cache build path).
 #
 #   scripts/bench.sh                       # every benchmark, 1 iteration
 #   BENCH='BenchmarkWindow' scripts/bench.sh   # a subset
@@ -29,16 +32,19 @@ awk '
 BEGIN { printf "{\n" }
 /^Benchmark/ {
   name = $1; sub(/-[0-9]+$/, "", name)
-  ns = ""; allocs = ""; bytes = ""
+  ns = ""; allocs = ""; bytes = ""; cancel = ""
   for (i = 2; i <= NF; i++) {
-    if ($i == "ns/op")     ns = $(i-1)
-    if ($i == "allocs/op") allocs = $(i-1)
-    if ($i == "B/op")      bytes = $(i-1)
+    if ($i == "ns/op")        ns = $(i-1)
+    if ($i == "allocs/op")    allocs = $(i-1)
+    if ($i == "B/op")         bytes = $(i-1)
+    if ($i == "cancel-ns/op") cancel = $(i-1)
   }
   if (ns != "") {
     if (n++) printf ",\n"
-    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s}", \
+    printf "  \"%s\": {\"ns_per_op\": %s, \"allocs_per_op\": %s, \"bytes_per_op\": %s", \
       name, ns, (allocs == "" ? 0 : allocs), (bytes == "" ? 0 : bytes)
+    if (cancel != "") printf ", \"cancel_ns_per_op\": %s", cancel
+    printf "}"
   }
 }
 END { printf "\n}\n" }
