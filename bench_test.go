@@ -334,21 +334,89 @@ func BenchmarkAblation_SignificantPs(b *testing.B) {
 
 // BenchmarkSignificantPs tracks the sweep-level cost of the full
 // significant-p exploration — the end-to-end latency an analyst waits for
-// slider stops — with the parallel dichotomy (default workers) and the
-// sequential reference. The parallel/sequential ratio is the refactor's
-// sweep speedup on multi-core.
+// slider stops — with the batched fused frontier at default workers and
+// the Workers=1 reference. Since the batched rewrite, each dichotomy
+// round solves all of its midpoints in one fused RunMany call, so the
+// default-workers number improves over the committed pre-fusion baseline
+// even on a single core; _Batched pins the same path under its
+// post-rewrite name for the benchdiff trajectory.
 func BenchmarkSignificantPs(b *testing.B)            { benchSignificantPs(b, 0) }
+func BenchmarkSignificantPs_Batched(b *testing.B)    { benchSignificantPs(b, 0) }
 func BenchmarkSignificantPs_Sequential(b *testing.B) { benchSignificantPs(b, 1) }
 
 func benchSignificantPs(b *testing.B, workers int) {
 	m := scalingModel(b, 96, 40)
 	in := core.NewInput(m, core.Options{Workers: workers})
+	// One warm-up exploration so the timed iterations measure the pooled
+	// steady state (solver pool populated, lane arenas faulted in) — the
+	// latency a served slider sees — rather than first-use page faults.
+	if _, err := in.SignificantPs(1e-3); err != nil {
+		b.Fatal(err)
+	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := in.SignificantPs(1e-3); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// The fused-sweep family measures the tentpole economics directly: one
+// lane-blocked SweepQuality call over n evenly spaced ps versus the
+// unfused reference of n pooled single-p runs (BenchmarkSweepSingle_K16 —
+// what every caller paid before the fusion, and still the right baseline
+// because the per-p kernels are unchanged). The acceptance bar is ≥ 1.5×
+// throughput for the 16-p sweep; report ns/p to compare across n.
+func BenchmarkSweepFused_K4(b *testing.B)  { benchSweepFused(b, 4) }
+func BenchmarkSweepFused_K16(b *testing.B) { benchSweepFused(b, 16) }
+
+func benchSweepPs(n int) []float64 {
+	ps := make([]float64, n)
+	for i := range ps {
+		ps[i] = float64(i+1) / float64(n+1)
+	}
+	return ps
+}
+
+func benchSweepFused(b *testing.B, n int) {
+	m := scalingModel(b, 96, 40)
+	in := core.NewInput(m, core.Options{})
+	ps := benchSweepPs(n)
+	if _, err := in.SweepQuality(ps); err != nil { // steady-state warm-up
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.SweepQuality(ps); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*n), "ns/p")
+}
+
+func BenchmarkSweepSingle_K16(b *testing.B) {
+	m := scalingModel(b, 96, 40)
+	in := core.NewInput(m, core.Options{})
+	ps := benchSweepPs(16)
+	if s := in.AcquireSolver(); s != nil { // steady-state warm-up
+		if _, err := s.Quality(ps[0]); err != nil {
+			b.Fatal(err)
+		}
+		in.ReleaseSolver(s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range ps {
+			s := in.AcquireSolver()
+			if _, err := s.Quality(p); err != nil {
+				b.Fatal(err)
+			}
+			in.ReleaseSolver(s)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(ps)), "ns/p")
 }
 
 // BenchmarkSweepCancel measures the serving layer's cancellation latency:

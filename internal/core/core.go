@@ -14,9 +14,15 @@
 //
 //   - Solver (solver.go) owns the pIC/cut scratch of one Algorithm 1
 //     query, costing O(|S|·|T|³) time per Run(p). Any number of Solvers
-//     share one Input concurrently, which is what turns the paper's
-//     "instantaneous interaction" into parallel p-sweeps (sweep.go:
-//     SweepRun, SweepQuality, the priority-frontier SignificantPs).
+//     share one Input concurrently, and one Solver can fuse many queries:
+//     RunMany (fused.go) carries up to MaxLanes p-lanes through a single
+//     triangular iteration per node — each cell reads its gain/loss and
+//     child offsets once and updates every lane in the inner add-compare
+//     loop — bit-identically per lane to separate Run(p) calls. The sweep
+//     layer (sweep.go: SweepRun, SweepQuality, SignificantPs) builds on
+//     it: sweeps partition their ps into lane blocks over the worker
+//     pool, and the significant-p dichotomy solves each frontier
+//     generation as one fused batch per round.
 //
 // Window changes are incremental (update.go): Input.Update — and the
 // Pan/Zoom conveniences over a microscopic.Reslicer-built model — derives
@@ -25,16 +31,20 @@
 // node that touch new slices, bit-identically to a fresh build.
 //
 // Every query entry point has a context-aware twin (RunContext,
-// QualityContext, SweepRunContext, SweepQualityContext,
+// QualityContext, RunManyContext, SweepRunContext, SweepQualityContext,
 // SignificantPsContext, AcquireSolverContext) for callers whose work can
 // become worthless mid-flight — a serving layer whose request timed out, a
 // CLI hit by SIGINT. Cancellation is cooperative at hierarchy-node
 // granularity: a cancelled call stops launching work, aborts in-flight
 // solves at their next node boundary, joins every goroutine it spawned,
 // returns every pooled solver, and reports ctx.Err() with no partial
-// results. The context-free names delegate to their twins with a
-// background context, so legacy callers pay only a nil-check per node and
-// get bit-identical results.
+// results (a cancelled fused sweep never returns solved lanes next to
+// holes). The input pass itself is cancellable the same way:
+// NewInputContext and UpdateContext check their ctx once per node inside
+// the matrix fill, so an abandoned large-|T| build dies mid-fill. The
+// context-free names delegate to their twins with a background context,
+// so legacy callers pay only a nil-check per node and get bit-identical
+// results.
 //
 // Aggregator below is a thin compatibility facade over an Input (queries
 // run on the Input's solver pool); new code should use Input and Solver

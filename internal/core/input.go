@@ -91,6 +91,9 @@ type Input struct {
 	// Input's lifetime, so their scratch is part of the Input's resident
 	// cost and MemoryBytes includes it.
 	solversLive atomic.Int64
+	// laneBytes totals the fused-lane scratch (RunMany's K-wide pIC/cut
+	// strips) grown by pooled solvers, which the pool likewise retains.
+	laneBytes atomic.Int64
 }
 
 // Options tunes the input pass and the solvers derived from it.
@@ -130,6 +133,22 @@ func (o Options) workers() int {
 // NewInput runs the input pass: per-node slice rows, prefix sums and the
 // fused gain/loss triangular matrices for every area of A(S×T).
 func NewInput(m *microscopic.Model, opt Options) *Input {
+	in, _ := NewInputContext(context.Background(), m, opt)
+	return in
+}
+
+// NewInputContext is NewInput with cooperative cancellation: ctx is
+// checked once per hierarchy node inside the matrix fill (the
+// O(|X|·|T|²)-per-node bulk of the pass), so an abandoned large-|T| build
+// dies mid-fill — within one node's worth of work plus the worker join —
+// instead of running to completion. A cancelled build returns
+// (nil, ctx.Err()); with a never-cancelled ctx the result is bit-identical
+// to NewInput. An already-cancelled ctx fails before allocating the
+// arenas.
+func NewInputContext(ctx context.Context, m *microscopic.Model, opt Options) (*Input, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	T, X := m.NumSlices(), m.NumStates()
 	n := m.H.NumNodes()
 	in := &Input{
@@ -153,9 +172,11 @@ func NewInput(m *microscopic.Model, opt Options) *Input {
 		in.durPref[t+1] = in.durPref[t] + m.SliceDur[t]
 	}
 	in.build(m.H.Root)
-	in.fillMatrices(nil)
+	if err := in.fillMatrices(ctx, nil); err != nil {
+		return nil, err
+	}
 	in.readRoot()
-	return in
+	return in, nil
 }
 
 // allocArenas sizes every flat arena for n hierarchy nodes.
@@ -348,7 +369,10 @@ func (in *Input) fillRow(id, i, from int, sc *rowSums) {
 // rows. Nodes write disjoint arena regions, so the O(|X|·|H(S)|·|T|²) work
 // is spread over the worker pool. fillNode, when non-nil, overrides the
 // per-node work (the incremental path substitutes its copy-then-fill).
-func (in *Input) fillMatrices(fillNode func(id int, sc *rowSums)) {
+// ctx is checked once per node on every path — a cancelled build stops
+// dispatching nodes, drains its workers, and returns ctx.Err(), leaving
+// the half-filled arenas to the garbage collector.
+func (in *Input) fillMatrices(ctx context.Context, fillNode func(id int, sc *rowSums)) error {
 	if fillNode == nil {
 		fillNode = func(id int, sc *rowSums) {
 			for i := 0; i < in.T; i++ {
@@ -360,9 +384,12 @@ func (in *Input) fillMatrices(fillNode func(id int, sc *rowSums)) {
 	if in.workers <= 1 || n < 2 {
 		sc := in.newRowSums()
 		for id := 0; id < n; id++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			fillNode(id, sc)
 		}
-		return
+		return nil
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -372,15 +399,22 @@ func (in *Input) fillMatrices(fillNode func(id int, sc *rowSums)) {
 			defer wg.Done()
 			sc := in.newRowSums()
 			for id := range next {
+				if ctx.Err() != nil {
+					continue // drain without working
+				}
 				fillNode(id, sc)
 			}
 		}()
 	}
 	for id := 0; id < n; id++ {
+		if ctx.Err() != nil {
+			break
+		}
 		next <- id
 	}
 	close(next)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // triIndex maps interval [i, j] (0 ≤ i ≤ j < |T|) to its flattened
@@ -512,6 +546,7 @@ func (in *Input) acquireSolver(ctx context.Context) (*Solver, error) {
 		case s = <-in.solverFree:
 		case in.solverTokens <- struct{}{}: // claim a creation slot
 			s = in.NewSolver()
+			s.pooled = true
 			in.solversLive.Add(1)
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -547,7 +582,7 @@ func (in *Input) MemoryBytes() int {
 		len(in.prefD) + len(in.prefRho) + len(in.prefRL) +
 		len(in.durPref)
 	// Each pooled solver holds a float64 pIC and an int32 cut arena of
-	// len(gain) cells.
+	// len(gain) cells, plus whatever fused-lane strips it has grown.
 	solver := len(in.gain) * (8 + 4)
-	return floats*8 + int(in.solversLive.Load())*solver
+	return floats*8 + int(in.solversLive.Load())*solver + int(in.laneBytes.Load())
 }

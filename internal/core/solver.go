@@ -24,6 +24,15 @@ type Solver struct {
 	pic []float64
 	cut []int32
 
+	// Lane arenas of the fused multi-p path (RunMany): one K-wide strip of
+	// pIC/cut state per triangle cell. Grown on first fused use, retained
+	// like the single-p scratch; see fused.go.
+	lanePic []float64
+	laneCut []int32
+	// pooled marks solvers created through the Input's bounded pool, whose
+	// retained scratch (lanes included) counts toward Input.MemoryBytes.
+	pooled bool
+
 	// Workers caps Algorithm 1's parallelism across independent sibling
 	// subtrees within this one run (default: the Input's worker setting;
 	// 1 forces the sequential path). Results are bit-identical for any
@@ -65,11 +74,12 @@ func (s *Solver) RunContext(ctx context.Context, p float64) (*partition.Partitio
 		return nil, fmt.Errorf("core: p = %v out of [0,1]", p)
 	}
 	ep := s.in.effectiveP(p)
+	iterate := func(id int) { s.iterateCells(id, ep) }
 	if s.Workers > 1 {
 		sem := make(chan struct{}, s.Workers)
-		s.computeOptimalParallel(ctx, s.in.rootID, ep, sem)
+		s.walkParallel(ctx, s.in.rootID, sem, iterate)
 	} else {
-		s.computeOptimal(ctx, s.in.rootID, ep)
+		s.walk(ctx, s.in.rootID, iterate)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -95,14 +105,16 @@ func (s *Solver) QualityContext(ctx context.Context, p float64) (QualityPoint, e
 	return qualityOf(p, pt), nil
 }
 
-// computeOptimalParallel runs Algorithm 1 with sibling subtrees processed
-// concurrently: a node's triangular iteration only reads its children's
-// completed pIC matrices, so the tree decomposes into independent tasks
-// joined bottom-up. The semaphore caps in-flight goroutines; results are
-// identical to the sequential pass. Cancellation is checked per node:
-// a cancelled ctx stops descending and skips the iteration, but every
-// spawned goroutine is still joined before returning.
-func (s *Solver) computeOptimalParallel(ctx context.Context, id int, p float64, sem chan struct{}) {
+// walkParallel runs iterate over the hierarchy with sibling subtrees
+// processed concurrently: a node's triangular iteration only reads its
+// children's completed pIC matrices, so the tree decomposes into
+// independent tasks joined bottom-up. The semaphore caps in-flight
+// goroutines; results are identical to the sequential pass. Cancellation
+// is checked per node: a cancelled ctx stops descending and skips the
+// iteration, but every spawned goroutine is still joined before
+// returning. Both the single-p kernel (iterateCells at a fixed p) and the
+// fused multi-p kernel (iterateCellsLanes) run through this traversal.
+func (s *Solver) walkParallel(ctx context.Context, id int, sem chan struct{}, iterate func(id int)) {
 	if ctx.Err() != nil {
 		return
 	}
@@ -116,42 +128,43 @@ func (s *Solver) computeOptimalParallel(ctx context.Context, id int, p float64, 
 				go func(c int32) {
 					defer wg.Done()
 					defer func() { <-sem }()
-					s.computeOptimalParallel(ctx, int(c), p, sem)
+					s.walkParallel(ctx, int(c), sem, iterate)
 				}(c)
 			default:
 				// Pool saturated: recurse inline rather than queue.
-				s.computeOptimalParallel(ctx, int(c), p, sem)
+				s.walkParallel(ctx, int(c), sem, iterate)
 			}
 		}
 		wg.Wait()
 	} else {
 		for _, c := range children {
-			s.computeOptimalParallel(ctx, int(c), p, sem)
+			s.walkParallel(ctx, int(c), sem, iterate)
 		}
 	}
 	if ctx.Err() != nil {
 		return
 	}
-	s.iterateCells(id, p)
+	iterate(id)
 }
 
-// computeOptimal is procedure node.COMPUTEOPTIMALPARTITION(p) of
-// Algorithm 1: children first (spatial recursion), then the triangular
-// iteration from the last line to the first, evaluating for each cell the
-// "no cut", "spatial cut" and every "temporal cut" alternative. The
-// context is checked once per node, bounding the latency of a cancel to
-// one triangular iteration.
-func (s *Solver) computeOptimal(ctx context.Context, id int, p float64) {
+// walk is the sequential traversal of procedure
+// node.COMPUTEOPTIMALPARTITION(p) of Algorithm 1: children first (spatial
+// recursion), then the node's triangular iteration — single-p or fused —
+// from the last line to the first, evaluating for each cell the "no cut",
+// "spatial cut" and every "temporal cut" alternative. The context is
+// checked once per node, bounding the latency of a cancel to one
+// triangular iteration.
+func (s *Solver) walk(ctx context.Context, id int, iterate func(id int)) {
 	if ctx.Err() != nil {
 		return
 	}
 	for _, c := range s.in.meta[id].children {
-		s.computeOptimal(ctx, int(c), p)
+		s.walk(ctx, int(c), iterate)
 	}
 	if ctx.Err() != nil {
 		return
 	}
-	s.iterateCells(id, p)
+	iterate(id)
 }
 
 // iterateCells is the triangular iteration of Algorithm 1 for one node,

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"context"
 	"sort"
 	"sync"
@@ -25,27 +24,57 @@ func qualityOf(p float64, pt *partition.Partition) QualityPoint {
 	return QualityPoint{P: p, Areas: pt.NumAreas(), Gain: pt.Gain, Loss: pt.Loss, Signature: pt.Signature()}
 }
 
-// SweepRun solves one query per entry of ps concurrently — each on a
-// pooled Solver against this shared Input — and returns the partitions in
-// input order. Per-run subtree parallelism is disabled inside the sweep
-// because cross-query parallelism already saturates the worker pool;
-// results are bit-identical to solving each p sequentially.
+// laneWidth picks the fused block width for a sweep of n ps over w
+// workers: wide enough to amortize the DP control flow across lanes,
+// never wider than needed to give every worker a block (splitting the
+// sweep across idle cores beats making one core's block wider), capped at
+// MaxLanes. Results are bit-identical for any width, so this is purely a
+// latency choice.
+func laneWidth(n, w int) int {
+	if w < 1 {
+		w = 1
+	}
+	k := (n + w - 1) / w
+	if k > MaxLanes {
+		k = MaxLanes
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// SweepRun solves one query per entry of ps — fused into lane blocks on
+// pooled Solvers against this shared Input — and returns the partitions
+// in input order. Blocks run concurrently over the worker pool with
+// per-run subtree parallelism disabled (cross-block parallelism already
+// saturates it); within a block one triangular iteration per node answers
+// every lane. Results are bit-identical to solving each p with its own
+// Run.
 func (in *Input) SweepRun(ps []float64) ([]*partition.Partition, error) {
 	return in.SweepRunContext(context.Background(), ps)
 }
 
 // SweepRunContext is SweepRun with cooperative cancellation: once ctx is
-// cancelled no further query starts, every in-flight query aborts at its
-// next node-level check, every worker goroutine is drained, every pooled
-// solver is released, and the call returns ctx.Err() with no partial
-// result slice — callers never see a sweep that is half partitions, half
-// holes. With a never-cancelled ctx the computation and result are
-// bit-identical to SweepRun.
+// cancelled no further lane block starts, every in-flight block aborts at
+// its next node-level check, every worker goroutine is drained, every
+// pooled solver is released, and the call returns ctx.Err() with no
+// partial result slice — callers never see a sweep that is half
+// partitions, half holes. With a never-cancelled ctx the computation and
+// result are bit-identical to SweepRun.
 func (in *Input) SweepRunContext(ctx context.Context, ps []float64) ([]*partition.Partition, error) {
+	if err := validatePs(ps); err != nil {
+		return nil, err
+	}
 	out := make([]*partition.Partition, len(ps))
+	if len(ps) == 0 {
+		return out, nil
+	}
+	lanes := laneWidth(len(ps), in.workers)
+	blocks := (len(ps) + lanes - 1) / lanes
 	workers := in.workers
-	if workers > len(ps) {
-		workers = len(ps)
+	if workers > blocks {
+		workers = blocks
 	}
 	if workers <= 1 {
 		s, err := in.AcquireSolverContext(ctx)
@@ -53,12 +82,16 @@ func (in *Input) SweepRunContext(ctx context.Context, ps []float64) ([]*partitio
 			return nil, err
 		}
 		defer in.ReleaseSolver(s)
-		for i, p := range ps {
-			pt, err := s.RunContext(ctx, p)
-			if err != nil {
+		// With a single block in flight the solver keeps the Input's
+		// worker setting, so its subtree parallelism still applies.
+		for lo := 0; lo < len(ps); lo += lanes {
+			hi := lo + lanes
+			if hi > len(ps) {
+				hi = len(ps)
+			}
+			if err := s.runLanes(ctx, ps[lo:hi], out[lo:hi]); err != nil {
 				return nil, err
 			}
-			out[i] = pt
 		}
 		return out, nil
 	}
@@ -77,11 +110,16 @@ func (in *Input) SweepRunContext(ctx context.Context, ps []float64) ([]*partitio
 			defer in.ReleaseSolver(s)
 			s.Workers = 1
 			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ps) {
+				b := int(next.Add(1)) - 1
+				if b >= blocks {
 					return
 				}
-				if out[i], errs[w] = s.RunContext(ctx, ps[i]); errs[w] != nil {
+				lo := b * lanes
+				hi := lo + lanes
+				if hi > len(ps) {
+					hi = len(ps)
+				}
+				if errs[w] = s.runLanes(ctx, ps[lo:hi], out[lo:hi]); errs[w] != nil {
 					return
 				}
 			}
@@ -117,20 +155,11 @@ func (in *Input) SweepQualityContext(ctx context.Context, ps []float64) ([]Quali
 	return out, nil
 }
 
-// gapInterval is one unexplored [l, h] stretch of the dichotomy whose
-// endpoints disagree; the frontier orders them widest first.
-type gapInterval struct {
+// gap is one unexplored [l, h] stretch of the dichotomy whose endpoints
+// disagree; the batched frontier bisects every current gap per round.
+type gap struct {
 	l, h QualityPoint
 }
-
-// gapHeap is a max-heap of gapIntervals by gap width h.P−l.P.
-type gapHeap []gapInterval
-
-func (g gapHeap) Len() int           { return len(g) }
-func (g gapHeap) Less(i, j int) bool { return g[i].h.P-g[i].l.P > g[j].h.P-g[j].l.P }
-func (g gapHeap) Swap(i, j int)      { g[i], g[j] = g[j], g[i] }
-func (g *gapHeap) Push(x any)        { *g = append(*g, x.(gapInterval)) }
-func (g *gapHeap) Pop() any          { old := *g; n := len(old); x := old[n-1]; *g = old[:n-1]; return x }
 
 // SignificantPs explores [0,1] by dichotomy and returns one QualityPoint
 // per distinct optimal partition, sorted by p (each point carries the
@@ -138,175 +167,66 @@ func (g *gapHeap) Pop() any          { old := *g; n := len(old); x := old[n-1]; 
 // "significant values" slider stops: between two consecutive returned
 // values the optimal partition does not change (up to the eps resolution).
 //
-// With Workers > 1 the exploration is a priority-ordered frontier: workers
-// always bisect the widest remaining [l, h] gap first, so the big
-// partition changes — the slider stops an analyst sees first — surface
-// before the fine boundary refinements. Which intervals get subdivided
-// depends only on their endpoints' signatures, never on exploration order,
-// so the sampled p set — and therefore the returned point set — is
-// identical to the sequential recursion's.
+// The exploration is round-based: every gap of the current frontier
+// generation contributes its midpoint, the whole batch is solved in one
+// fused SweepRun call, and the next generation is built from the results.
+// A frontier generation is exactly one level of the sequential recursion
+// tree, and whether a gap subdivides depends only on its endpoints'
+// signatures — never on exploration order — so the sampled p set, and
+// therefore the returned point set, is identical to the plain recursive
+// dichotomy's. Unlike a chain of dependent bisections, each round is one
+// wide data-parallel solve: the lanes fuse across the batch and the
+// blocks spread over the worker pool.
 func (in *Input) SignificantPs(eps float64) ([]QualityPoint, error) {
 	return in.SignificantPsContext(context.Background(), eps)
 }
 
 // SignificantPsContext is SignificantPs with cooperative cancellation: a
-// cancelled ctx stops the frontier from launching further midpoints, wakes
-// every worker parked on the frontier, aborts in-flight solves at their
-// next node-level check, releases every pooled solver and returns ctx.Err()
-// — never a partially explored ladder. With a never-cancelled ctx the
-// exploration and result are bit-identical to SignificantPs.
+// cancelled ctx aborts the current round's fused sweep at its next
+// node-level check, launches no further round, releases every pooled
+// solver and returns ctx.Err() — never a partially explored ladder. With
+// a never-cancelled ctx the exploration and result are bit-identical to
+// SignificantPs.
 func (in *Input) SignificantPsContext(ctx context.Context, eps float64) ([]QualityPoint, error) {
 	if eps <= 0 {
 		eps = 1e-4
 	}
-	if in.workers <= 1 {
-		return in.significantPsSeq(ctx, eps)
-	}
-	quality := func(p float64) (QualityPoint, error) {
-		s, err := in.AcquireSolverContext(ctx)
-		if err != nil {
-			return QualityPoint{}, err
-		}
-		defer in.ReleaseSolver(s)
-		s.Workers = 1
-		return s.QualityContext(ctx, p)
-	}
-	lo, err := quality(0)
+	ends, err := in.SweepQualityContext(ctx, []float64{0, 1})
 	if err != nil {
 		return nil, err
 	}
-	hi, err := quality(1)
-	if err != nil {
-		return nil, err
-	}
-	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		frontier gapHeap
-		active   int
-		firstErr error
-		points   = map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
-	)
+	lo, hi := ends[0], ends[1]
+	points := map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
 	expandable := func(l, h QualityPoint) bool {
 		return l.Signature != h.Signature && h.P-l.P > eps
 	}
+	var frontier []gap
 	if expandable(lo, hi) {
-		heap.Push(&frontier, gapInterval{lo, hi})
+		frontier = append(frontier, gap{lo, hi})
 	}
-	// Workers park on the cond while the frontier is empty, which a ctx
-	// cancel cannot interrupt by itself; this watcher turns the cancel into
-	// a recorded firstErr plus a broadcast, so parked workers wake up and
-	// exit. It is stopped (and joined, for leak-free shutdown) as soon as
-	// the frontier drains.
-	watcherDone := make(chan struct{})
-	stopWatcher := make(chan struct{})
-	go func() {
-		defer close(watcherDone)
-		select {
-		case <-ctx.Done():
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = ctx.Err()
-			}
-			cond.Broadcast()
-			mu.Unlock()
-		case <-stopWatcher:
+	for len(frontier) > 0 {
+		mids := make([]float64, len(frontier))
+		for i, g := range frontier {
+			mids[i] = (g.l.P + g.h.P) / 2
 		}
-	}()
-	var wg sync.WaitGroup
-	for w := 0; w < in.workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				for len(frontier) == 0 && active > 0 && firstErr == nil {
-					cond.Wait()
-				}
-				if len(frontier) == 0 || firstErr != nil {
-					mu.Unlock()
-					cond.Broadcast()
-					return
-				}
-				iv := heap.Pop(&frontier).(gapInterval)
-				active++
-				mu.Unlock()
-
-				mid, err := quality((iv.l.P + iv.h.P) / 2)
-
-				mu.Lock()
-				active--
-				if err != nil {
-					if firstErr == nil {
-						firstErr = err
-					}
-					cond.Broadcast()
-					mu.Unlock()
-					return
-				}
-				if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
-					points[mid.Signature] = mid
-				}
-				if expandable(iv.l, mid) {
-					heap.Push(&frontier, gapInterval{iv.l, mid})
-				}
-				if expandable(mid, iv.h) {
-					heap.Push(&frontier, gapInterval{mid, iv.h})
-				}
-				cond.Broadcast()
-				mu.Unlock()
-			}
-		}()
-	}
-	wg.Wait()
-	close(stopWatcher)
-	<-watcherDone
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return sortedPoints(points), nil
-}
-
-// significantPsSeq is the Workers == 1 exploration: one pooled Solver, the
-// plain recursive dichotomy of the original algorithm.
-func (in *Input) significantPsSeq(ctx context.Context, eps float64) ([]QualityPoint, error) {
-	s, err := in.AcquireSolverContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	defer in.ReleaseSolver(s)
-	lo, err := s.QualityContext(ctx, 0)
-	if err != nil {
-		return nil, err
-	}
-	hi, err := s.QualityContext(ctx, 1)
-	if err != nil {
-		return nil, err
-	}
-	points := map[string]QualityPoint{lo.Signature: lo, hi.Signature: hi}
-	var firstErr error
-	var explore func(l, h QualityPoint)
-	explore = func(l, h QualityPoint) {
-		if l.Signature == h.Signature || h.P-l.P <= eps || firstErr != nil {
-			return
-		}
-		mid, err := s.QualityContext(ctx, (l.P+h.P)/2)
+		qs, err := in.SweepQualityContext(ctx, mids)
 		if err != nil {
-			firstErr = err
-			return
+			return nil, err
 		}
-		if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
-			points[mid.Signature] = mid
+		next := make([]gap, 0, 2*len(frontier))
+		for i, g := range frontier {
+			mid := qs[i]
+			if prev, ok := points[mid.Signature]; !ok || mid.P < prev.P {
+				points[mid.Signature] = mid
+			}
+			if expandable(g.l, mid) {
+				next = append(next, gap{g.l, mid})
+			}
+			if expandable(mid, g.h) {
+				next = append(next, gap{mid, g.h})
+			}
 		}
-		explore(l, mid)
-		explore(mid, h)
-	}
-	explore(lo, hi)
-	if firstErr != nil {
-		return nil, firstErr
+		frontier = next
 	}
 	return sortedPoints(points), nil
 }

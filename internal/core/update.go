@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"ocelotl/internal/microscopic"
@@ -30,8 +31,22 @@ import (
 // If newModel has a different hierarchy or shape, or the overlap is empty,
 // Update degrades to a full (still parallel) rebuild and remains correct.
 func (in *Input) Update(newModel *microscopic.Model, ov microscopic.SliceOverlap) *Input {
+	out, _ := in.UpdateContext(context.Background(), newModel, ov)
+	return out
+}
+
+// UpdateContext is Update with cooperative cancellation: like
+// NewInputContext, ctx is checked once per hierarchy node inside the
+// matrix pass (copy-then-extend here), so an abandoned derivation dies
+// mid-fill and returns (nil, ctx.Err()) instead of finishing an Input
+// nobody will read. With a never-cancelled ctx the result is bit-identical
+// to Update.
+func (in *Input) UpdateContext(ctx context.Context, newModel *microscopic.Model, ov microscopic.SliceOverlap) (*Input, error) {
 	if newModel.H != in.Model.H || newModel.NumSlices() != in.T || newModel.NumStates() != in.X {
-		return NewInput(newModel, Options{Normalize: in.normalize, Workers: in.workers, SolverPoolBound: in.poolBound})
+		return NewInputContext(ctx, newModel, Options{Normalize: in.normalize, Workers: in.workers, SolverPoolBound: in.poolBound})
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	ov = in.verifyOverlap(newModel, ov)
 	out := &Input{
@@ -52,9 +67,11 @@ func (in *Input) Update(newModel *microscopic.Model, ov microscopic.SliceOverlap
 		out.durPref[t+1] = out.durPref[t] + newModel.SliceDur[t]
 	}
 	out.updateSliceRows(in, ov)
-	out.updateMatrices(in, ov)
+	if err := out.updateMatrices(ctx, in, ov); err != nil {
+		return nil, err
+	}
 	out.readRoot()
-	return out
+	return out, nil
 }
 
 // Pan returns the Input of the window panned by k slices, going through
@@ -146,10 +163,10 @@ func (out *Input) updateSliceRows(old *Input, ov microscopic.SliceOverlap) {
 // whose start slice survives copy their surviving segment from the old
 // arena (one contiguous copy per row — the shared sub-triangle moves) and
 // then extend with fillRow; rows starting in a new slice are filled whole.
-func (out *Input) updateMatrices(old *Input, ov microscopic.SliceOverlap) {
+func (out *Input) updateMatrices(ctx context.Context, old *Input, ov microscopic.SliceOverlap) error {
 	T := out.T
 	sharedHi := ov.NewLo + ov.W - 1 // last surviving slice, new indexing
-	out.fillMatrices(func(id int, sc *rowSums) {
+	return out.fillMatrices(ctx, func(id int, sc *rowSums) {
 		off := out.offs[id]
 		for i := 0; i < T; i++ {
 			if ov.W == 0 || i < ov.NewLo || i > sharedHi {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"time"
 
 	"ocelotl/internal/core"
@@ -18,7 +19,9 @@ import (
 //  2. the spatiotemporal optimum dominates the Cartesian-product baseline
 //     at every p, strictly where cross patterns exist;
 //  3. the significant-p ladder gives the analyst a small set of slider
-//     stops.
+//     stops;
+//  4. the fused lane-blocked p-sweep answers a 16-p quality curve well
+//     under the cost of 16 single-p runs, bit-identically.
 func RunAblation(cfg Config) error {
 	cfg.println("1. scaling in |T| at |S|=48 (expect ~8× time per 2× slices at large |T|):")
 	cfg.printf("%8s %12s %12s %14s\n", "|T|", "input", "run", "cells")
@@ -84,6 +87,53 @@ func RunAblation(cfg Config) error {
 	for _, q := range points {
 		cfg.printf("   p=%6.4f  %4d areas  gain %8.2f  loss %8.2f\n", q.P, q.Areas, q.Gain, q.Loss)
 	}
+
+	cfg.println("\n6. fused p-sweep vs single-p runs (16 ps on a larger model):")
+	mw, err := microscopic.Build(mpisim.ArtificialSized(96, 40), microscopic.Options{Slices: 40})
+	if err != nil {
+		return err
+	}
+	inw := core.NewInput(mw, core.Options{})
+	sweepPs := make([]float64, 16)
+	for i := range sweepPs {
+		sweepPs[i] = float64(i+1) / float64(len(sweepPs)+1)
+	}
+	var single []core.QualityPoint
+	singleDur, err := timed(func() error {
+		s, err := inw.AcquireSolverContext(cfg.context())
+		if err != nil {
+			return err
+		}
+		defer inw.ReleaseSolver(s)
+		for _, p := range sweepPs {
+			q, err := s.QualityContext(cfg.context(), p)
+			if err != nil {
+				return err
+			}
+			single = append(single, q)
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	var fused []core.QualityPoint
+	fusedDur, err := timed(func() error {
+		var err error
+		fused, err = inw.SweepQualityContext(cfg.context(), sweepPs)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i := range fused {
+		if fused[i] != single[i] {
+			return fmt.Errorf("fused sweep diverged from single-p runs at p=%v", sweepPs[i])
+		}
+	}
+	cfg.printf("   16 single-p runs: %10v   fused sweep: %10v   (%.1fx, bit-identical)\n",
+		singleDur.Round(time.Microsecond), fusedDur.Round(time.Microsecond),
+		float64(singleDur)/float64(fusedDur))
 	return nil
 }
 

@@ -20,8 +20,8 @@ import (
 // absolute numbers are printed alongside for comparison.
 func RunTable2(cfg Config) error {
 	cfg.printf("Table II reproduction (scale %.3g; paper values in parentheses)\n\n", cfg.Scale)
-	cfg.printf("%-6s %-4s %-6s %-10s %12s %10s %12s %14s %12s\n",
-		"Case", "App", "Class", "Procs", "Events", "Trace MB", "Reading", "Microscopic", "Aggregation")
+	cfg.printf("%-6s %-4s %-6s %-10s %12s %10s %12s %14s %12s %12s\n",
+		"Case", "App", "Class", "Procs", "Events", "Trace MB", "Reading", "Microscopic", "Aggregation", "Sweep16/p")
 	for _, c := range grid5000.AllCases() {
 		// Each case generates, re-reads and aggregates a whole trace; honor
 		// an interrupt between cases rather than finishing the table.
@@ -36,15 +36,17 @@ func RunTable2(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		cfg.printf("%-6s %-4s %-6s %-10d %12d %10.1f %12v %14v %12v\n",
+		cfg.printf("%-6s %-4s %-6s %-10d %12d %10.1f %12v %14v %12v %12v\n",
 			string(c), sc.Application, sc.Class, sc.Processes,
-			row.events, row.traceMB, row.read.Round(time.Millisecond), row.micro.Round(time.Millisecond), row.agg.Round(time.Millisecond))
-		cfg.printf("%-6s %-4s %-6s %-10s %12d %10.1f %12s %14s %12s\n",
+			row.events, row.traceMB, row.read.Round(time.Millisecond), row.micro.Round(time.Millisecond), row.agg.Round(time.Millisecond),
+			(row.sweep / 16).Round(time.Microsecond))
+		cfg.printf("%-6s %-4s %-6s %-10s %12d %10.1f %12s %14s %12s %12s\n",
 			"", "", "", "(paper)", sc.PaperEvents, sc.PaperTraceMB,
-			paperReading(c), paperMicro(c), paperAgg(c))
+			paperReading(c), paperMicro(c), paperAgg(c), "-")
 	}
 	cfg.println("\nShape check: aggregation must be orders of magnitude below reading, and")
-	cfg.println("stay interactive (≪1 s at 30 slices) regardless of the event count.")
+	cfg.println("stay interactive (≪1 s at 30 slices) regardless of the event count; the")
+	cfg.println("fused sweep's per-p cost must sit below one Aggregation run.")
 	return nil
 }
 
@@ -54,6 +56,7 @@ type table2Row struct {
 	read    time.Duration
 	micro   time.Duration
 	agg     time.Duration
+	sweep   time.Duration // fused 16-p quality sweep (Sweep16/p = sweep/16)
 }
 
 func measureCase(cfg Config, sc grid5000.Scenario) (table2Row, error) {
@@ -111,9 +114,24 @@ func measureCase(cfg Config, sc grid5000.Scenario) (table2Row, error) {
 		return row, err
 	}
 	// Stage 3: aggregation (input matrices + one Algorithm 1 run).
+	var in *core.Input
 	row.agg, err = timed(func() error {
-		in := core.NewInput(m, core.Options{})
+		in = core.NewInput(m, core.Options{})
 		_, err := in.NewSolver().RunContext(cfg.context(), 0.5)
+		return err
+	})
+	if err != nil {
+		return row, err
+	}
+	// Stage 4: the interactive exploration cost — a fused 16-p quality
+	// sweep over the same Input (the "build once, answer every p" economics
+	// the serving layer banks on); the table reports the per-p share.
+	ps := make([]float64, 16)
+	for i := range ps {
+		ps[i] = float64(i+1) / float64(len(ps)+1)
+	}
+	row.sweep, err = timed(func() error {
+		_, err := in.SweepQualityContext(cfg.context(), ps)
 		return err
 	})
 	return row, err

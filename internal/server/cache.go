@@ -296,9 +296,10 @@ var testHookBuildStart func(context.Context)
 // src when a neighbor overlaps, from scratch otherwise. src.in is
 // immutable, so the build is safe even if the entry is evicted meanwhile.
 // ctx is the flight's detached context: it is checked between the build's
-// stages (model fill, input pass), so a flight every waiter abandoned
-// stops before its most expensive step rather than parking a dead Input
-// in the cache.
+// stages (model fill, input pass) and — through NewInputContext /
+// UpdateContext — once per hierarchy node inside the matrix fill itself,
+// so a flight every waiter abandoned dies mid-fill rather than running
+// its most expensive step to completion for a dead Input.
 func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, src *entry, aligned timeslice.Slicer) (*core.Input, BuildKind, error) {
 	if testHookBuildStart != nil {
 		testHookBuildStart(ctx)
@@ -312,21 +313,36 @@ func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, 
 			if err := ctx.Err(); err != nil {
 				return nil, "", err
 			}
+			in, err := src.in.UpdateContext(ctx, m, shiftOv)
+			if err != nil {
+				return nil, "", err
+			}
 			c.stats.Derived.Add(1)
-			return src.in.Update(m, shiftOv), BuildDerived, nil
+			return in, BuildDerived, nil
 		}
 	}
 	m := tr.resl.BuildAt(sl)
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
 	}
+	in, err := core.NewInputContext(ctx, m, c.opts)
+	if err != nil {
+		return nil, "", err
+	}
 	c.stats.Scratch.Add(1)
-	return core.NewInput(m, c.opts), BuildScratch, nil
+	return in, BuildScratch, nil
 }
 
 // noteAborted records one cancelled request in the serve stats; the
 // handlers call it whenever they map a cancellation to a client response.
 func (c *InputCache) noteAborted() { c.stats.Aborted.Add(1) }
+
+// noteSweep records one multi-p query served through the fused sweep path
+// (/significant, /quality) and the number of p points it answered.
+func (c *InputCache) noteSweep(ps int) {
+	c.stats.SweepQueries.Add(1)
+	c.stats.SweepPs.Add(int64(ps))
+}
 
 // insertLocked caches in under key and evicts from the LRU tail until the
 // byte budget holds. The inserted entry itself is exempt from its own

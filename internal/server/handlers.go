@@ -337,6 +337,7 @@ func (s *Server) handleSignificant(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.cache.noteSweep(len(points))
 	writeJSON(w, http.StatusOK, struct {
 		Trace  string        `json:"trace"`
 		Eps    float64       `json:"eps"`
@@ -362,6 +363,7 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.cache.noteSweep(len(points))
 	writeJSON(w, http.StatusOK, struct {
 		Trace  string        `json:"trace"`
 		Window windowJSON    `json:"window"`

@@ -9,38 +9,48 @@ import "sync/atomic"
 // cancellation anywhere along the serve path — an expired deadline at
 // entry, an abandoned cache fill, or a solve/sweep cut short — i.e. work
 // whose response nobody was waiting for anymore.
+// SweepQueries / SweepPs count the multi-p work served through the fused
+// engine path (/significant and /quality): queries is the number of sweep
+// requests answered, ps the total p points they returned — the ratio is
+// the average fan-out a sweep request amortizes over the shared Input.
 type Stats struct {
-	Hits      atomic.Int64
-	Misses    atomic.Int64
-	Coalesced atomic.Int64
-	Derived   atomic.Int64
-	Scratch   atomic.Int64
-	Evictions atomic.Int64
-	Aborted   atomic.Int64
+	Hits         atomic.Int64
+	Misses       atomic.Int64
+	Coalesced    atomic.Int64
+	Derived      atomic.Int64
+	Scratch      atomic.Int64
+	Evictions    atomic.Int64
+	Aborted      atomic.Int64
+	SweepQueries atomic.Int64
+	SweepPs      atomic.Int64
 }
 
 // StatsSnapshot is the JSON form served by /debug/cachestats.
 type StatsSnapshot struct {
-	Hits        int64 `json:"hits"`
-	Misses      int64 `json:"misses"`
-	Coalesced   int64 `json:"coalesced"`
-	Derived     int64 `json:"derived_builds"`
-	Scratch     int64 `json:"scratch_builds"`
-	Evictions   int64 `json:"evictions"`
-	Aborted     int64 `json:"aborted"`
-	Entries     int   `json:"entries"`
-	Bytes       int64 `json:"bytes"`
-	BudgetBytes int64 `json:"budget_bytes"`
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	Coalesced    int64 `json:"coalesced"`
+	Derived      int64 `json:"derived_builds"`
+	Scratch      int64 `json:"scratch_builds"`
+	Evictions    int64 `json:"evictions"`
+	Aborted      int64 `json:"aborted"`
+	SweepQueries int64 `json:"sweep_queries"`
+	SweepPs      int64 `json:"sweep_ps"`
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
+	BudgetBytes  int64 `json:"budget_bytes"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {
 	return StatsSnapshot{
-		Hits:      s.Hits.Load(),
-		Misses:    s.Misses.Load(),
-		Coalesced: s.Coalesced.Load(),
-		Derived:   s.Derived.Load(),
-		Scratch:   s.Scratch.Load(),
-		Evictions: s.Evictions.Load(),
-		Aborted:   s.Aborted.Load(),
+		Hits:         s.Hits.Load(),
+		Misses:       s.Misses.Load(),
+		Coalesced:    s.Coalesced.Load(),
+		Derived:      s.Derived.Load(),
+		Scratch:      s.Scratch.Load(),
+		Evictions:    s.Evictions.Load(),
+		Aborted:      s.Aborted.Load(),
+		SweepQueries: s.SweepQueries.Load(),
+		SweepPs:      s.SweepPs.Load(),
 	}
 }

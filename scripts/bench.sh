@@ -3,11 +3,13 @@
 # ns/op, allocs/op, bytes/op, plus any custom metric like
 # BenchmarkSweepCancel's cancel_ns_per_op: time-to-return after cancelling
 # a mid-flight sweep) so successive PRs leave a comparable perf trajectory
-# in the repo. The suite covers the engine (input pass, Run, sweeps,
-# cooperative cancellation), the windowing families
-# (BenchmarkWindowPan/Zoom) and the serving layer
-# (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate request through
-# the HTTP handler per cache build path).
+# in the repo. The suite covers the engine (input pass, Run, the fused
+# multi-p sweeps BenchmarkSweepFused_{K4,K16} vs BenchmarkSweepSingle_K16,
+# the batched dichotomy BenchmarkSignificantPs{,_Batched}, cooperative
+# cancellation), the windowing families (BenchmarkWindowPan/Zoom) and the
+# serving layer (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate
+# request through the HTTP handler per cache build path). A subset of
+# these are gated against regressions by scripts/benchdiff.sh.
 #
 #   scripts/bench.sh                       # every benchmark, 1 iteration
 #   BENCH='BenchmarkWindow' scripts/bench.sh   # a subset
