@@ -86,3 +86,31 @@ func BenchmarkServerPan_Scratch(b *testing.B) {
 		benchGet(b, url)
 	}
 }
+
+// The server zoom pair is the serving counterpart of BenchmarkWindowZoom:
+// each request changes resolution (overview level ↔ zoomed level), panned
+// a little each time so the cache never has the exact window.
+//
+//   - Pyramid: both levels are warm in the ladder, so every zoom is a
+//     miss served by same-grid derivation from its level's resident;
+//   - Scratch: caching disabled, every zoom pays the full input pass.
+func benchServerZoom(b *testing.B, cacheBytes int64) {
+	_, _, in := windowCase(b)
+	lo, hi := in.Model.Slicer.IntervalBounds(10, 19)
+	ts := newBenchServer(b, cacheBytes)
+	over := fmt.Sprintf("%s/traces/bench/aggregate?p=0.5&slices=%d", ts.URL, windowBenchT)
+	zoom := fmt.Sprintf("%s&lo=%g&hi=%g", over, lo, hi)
+	benchGet(b, over) // warm both levels (no-ops for the scratch server)
+	benchGet(b, zoom)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := zoom
+		if i%2 == 1 {
+			u = over
+		}
+		benchGet(b, fmt.Sprintf("%s&pan=%d", u, 1+i%3))
+	}
+}
+
+func BenchmarkServerZoom_Pyramid(b *testing.B) { benchServerZoom(b, server.DefaultCacheBytes) }
+func BenchmarkServerZoom_Scratch(b *testing.B) { benchServerZoom(b, -1) }

@@ -535,15 +535,39 @@ func BenchmarkWindowPan_Scratch(b *testing.B)      { benchWindowPanScratch(b, 1)
 func BenchmarkWindowPan8_Incremental(b *testing.B) { benchWindowPanIncremental(b, 8) }
 func BenchmarkWindowPan8_Scratch(b *testing.B)     { benchWindowPanScratch(b, 8) }
 
-// Zooming changes the slice width, so the matrices rebuild either way; the
-// incremental win is the indexed model fill (only events overlapping the
-// new window) instead of a full trace pass.
+// Zooming changes the slice width, so nothing of the matrices transfers
+// across the resolution change itself — the pyramid instead keeps one
+// Input resident per visited grid level, so revisiting a resolution is a
+// same-grid pan (Input.Update) rather than a rebuild. The benchmark
+// ping-pongs between the overview level and a zoomed level with the
+// target always a slice or two off the level's resident window, so every
+// iteration is a genuine zoom request served by pan-derivation, never a
+// pure map hit.
 func BenchmarkWindowZoom_Incremental(b *testing.B) {
-	_, _, in := windowCase(b)
+	_, r, in := windowCase(b)
+	ctx := context.Background()
+	py := core.NewPyramid(r, core.Options{}, 0)
+	if _, _, err := py.Resolve(ctx, in.Model.Slicer); err != nil {
+		b.Fatal(err)
+	}
+	zin, _, err := py.Zoom(ctx, in, 10, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	over, zoom := in.Model.Slicer, zin.Model.Slicer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := in.Zoom(10, 19); err != nil {
+		sl := zoom
+		if i%2 == 1 {
+			sl = over
+		}
+		sl = sl.Shift(1 + i%3)
+		_, kind, err := py.Resolve(ctx, sl)
+		if err != nil {
 			b.Fatal(err)
+		}
+		if kind != core.ResolvePan {
+			b.Fatalf("iteration %d resolved %v, want pan (warm level)", i, kind)
 		}
 	}
 }
@@ -558,6 +582,21 @@ func BenchmarkWindowZoom_Scratch(b *testing.B) {
 			b.Fatal(err)
 		}
 		core.NewInput(m, core.Options{})
+	}
+}
+
+// BenchmarkWindowZoomOut_Incremental measures the coarsen derivation: the
+// overview one level up (2× slice width) computed from the fine Input by
+// slice-pair merging — no event-index pass, and a matrix fill a quarter
+// the size of the fine one. This is the path behind the serving layer's
+// progressive previews.
+func BenchmarkWindowZoomOut_Incremental(b *testing.B) {
+	_, _, in := windowCase(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := in.Coarsen(2); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,7 +4,10 @@
 // curves and rendered views over HTTP/JSON. Window misses are derived
 // incrementally from the nearest cached overlapping window, so interactive
 // pan sequences cost O(changed slices) per step instead of a fresh input
-// pass.
+// pass; the cache additionally pins a multi-resolution ladder per hot
+// trace (one window per visited slice-width level, -ladder-levels deep),
+// so zooming back to a familiar resolution derives incrementally too
+// instead of rebuilding from the event index.
 //
 //	ocelotld -addr :8087 -cache-mb 256
 //	ocelotld -load caseA=caseA.bin -load run7=run7.csv.gz
@@ -14,7 +17,16 @@
 //	curl -X POST -d '{"id":"a","path":"caseA.bin"}' localhost:8087/traces
 //	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30'
 //	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30&pan=3'
+//	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30&lo=2.5&hi=4.5&refine=1'
 //	curl localhost:8087/debug/cachestats
+//	curl localhost:8087/metrics
+//
+// The refine=1 form is the progressive zoom: when a cached window covers
+// the request, its coarse overview is returned immediately
+// (X-Ocelotl-Refine: pending) while the fine build runs in the
+// background; re-requesting the same URL returns the final answer.
+// Windows whose single Input would exceed the cache budget are rejected
+// with 413 before any build.
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
 // requests.
@@ -46,6 +58,7 @@ func main() {
 		poolBound = flag.Int("solver-pool", 0, "max pooled solvers per cached Input (0 = worker count)")
 		normalize = flag.Bool("normalize", false, "normalize gain/loss by their full-aggregation values")
 		maxSlices = flag.Int("max-slices", 0, "per-request cap on the slices (|T|) parameter (0 = default 512)")
+		ladder    = flag.Int("ladder-levels", 0, "pinned resolution levels per hot trace (0 = default 8)")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
 		verbose   = flag.Bool("v", false, "debug-level logging")
 	)
@@ -74,6 +87,7 @@ func main() {
 		Core:           core.Options{Normalize: *normalize, Workers: *workers, SolverPoolBound: *poolBound},
 		RequestTimeout: *timeout,
 		MaxSlices:      *maxSlices,
+		LadderLevels:   *ladder,
 		Logger:         logger,
 	})
 	for _, spec := range preloads {

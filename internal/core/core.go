@@ -30,6 +30,21 @@
 // surviving slices pin down and recomputing only the O(Δ·|T|) cells per
 // node that touch new slices, bit-identically to a fresh build.
 //
+// Resolution changes are incremental too (pyramid.go): Pyramid keeps the
+// most recent Input resident per slice-width grid level, so a zoom back
+// to a visited resolution resolves as a hit or a same-grid pan before
+// touching the event index — Update's economics extended across the
+// resolution axis. Input.Coarsen derives the overview one level up by
+// slice-pair merging (microscopic.Model.MergePairs), bit-identical to
+// NewInput on the merged model and free of any event-index pass; it
+// feeds preview responses, never cache entries that promise equality
+// with a scratch build at the coarse grid (boundary-spanning events
+// split-then-sum differently there, so the last ulp can differ). The
+// layering is deliberate: timeslice names the grids (Grid/CoarsenGrid),
+// microscopic merges models, core derives Inputs and keys the ladder,
+// and the serving layer adds byte budgets, singleflight and progressive
+// delivery on top.
+//
 // Every query entry point has a context-aware twin (RunContext,
 // QualityContext, RunManyContext, SweepRunContext, SweepQualityContext,
 // SignificantPsContext, AcquireSolverContext) for callers whose work can

@@ -3,6 +3,7 @@ package server
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"math"
 	"sync"
 
@@ -27,26 +28,76 @@ const (
 	// BuildCoalesced: the request piggybacked on an identical in-flight
 	// build (singleflight).
 	BuildCoalesced BuildKind = "coalesced"
+	// BuildPreview: a refine request answered with a coarse covering
+	// cached window while the fine build proceeds in the background.
+	BuildPreview BuildKind = "preview"
 )
 
-// windowKey identifies one cached Input: the trace load (id + its load
-// generation, so a reloaded id never matches the old load's entries or
-// in-flight builds), the slice count and the exact window floats. Two
-// windows on the same grid at different offsets hash to different keys;
-// the grid relation between them is what the derivation path exploits.
+// windowKey identifies one cached Input by (trace, grid level, window):
+// the trace load (id + its load generation, so a reloaded id never
+// matches the old load's entries or in-flight builds), the pyramid level
+// — the slice width as exact float bits, computed canonically from the
+// window so every derivation of the same window agrees — and the window's
+// position at that level (slice count + exact boundary floats). Two
+// windows on the same grid at different offsets share a level but hash to
+// different keys; the grid relation between them is what the derivation
+// path exploits, and the shared level is what the ladder pins.
 type windowKey struct {
 	trace      string
 	gen        uint64
+	level      uint64
 	slices     int
 	start, end float64
 }
 
-// entry is one cached Input on the LRU list.
+// levelOf is the canonical pyramid level of a window: the float bits of
+// its slice width derived from the public boundary floats (never the
+// slicer's internal grid width, which can differ in the last ulp between
+// a New-built and a Shift-derived slicer for the same window). A pure
+// function of (start, end, slices), so it adds no distinctions to key
+// equality — it names the resolution axis the ladder is organized along.
+func levelOf(sl timeslice.Slicer) uint64 {
+	return math.Float64bits((sl.End - sl.Start) / float64(sl.N))
+}
+
+// entry is one cached Input on the LRU list. ov memoizes the entry's
+// pair-merged coarse overview (core.Input.Coarsen) for progressive
+// responses: built at most once, labeled preview on the wire, and never
+// inserted under a window key of its own — merge-derived floats may
+// differ in the last ulp from an event-index build at the coarse grid,
+// and window keys promise byte-identity with scratch.
 type entry struct {
 	key   windowKey
 	in    *core.Input
-	bytes int
+	bytes int // in + ovBytes, charged against the budget
+
+	ovMu    sync.Mutex
+	ov      *core.Input
+	ovBytes int // guarded by the cache mu, not ovMu
 }
+
+// traceGen addresses one trace load's ladder.
+type traceGen struct {
+	trace string
+	gen   uint64
+}
+
+// ladder is one trace load's multi-resolution state: per grid level, the
+// key of the level's resident (most recently used) entry — pinned against
+// eviction so a hot trace keeps one window per visited resolution warm —
+// plus the level of the trace's last window request, which classifies the
+// next request as a pan (same level) or a zoom (level change).
+type ladder struct {
+	resident map[uint64]windowKey
+	order    []uint64 // least → most recently used level
+	last     uint64
+	hasLast  bool
+}
+
+// DefaultLadderLevels bounds each trace's pinned ladder when no cap is
+// configured; levels beyond the cap lose their pin oldest-first (their
+// entries still cache normally).
+const DefaultLadderLevels = core.DefaultPyramidLevels
 
 // flight is one in-flight build; concurrent requests for the same key
 // wait on done instead of building again. The build runs under the
@@ -69,7 +120,7 @@ type flight struct {
 }
 
 // InputCache is the window-keyed Input cache of the serving layer: an LRU
-// over (trace, slice count, window) with a byte budget derived from
+// over (trace, grid level, window) with a byte budget derived from
 // core.Input.MemoryBytes. A miss does not go straight to NewInput — it
 // first looks for the nearest cached window of the same trace and shape
 // that overlaps the request on its slice grid (microscopic.GridOverlap)
@@ -77,9 +128,18 @@ type flight struct {
 // to a from-scratch build only when nothing overlaps. Concurrent requests
 // for the same window are deduplicated (singleflight): one build runs,
 // the rest wait for its result.
+//
+// On top of the LRU the cache maintains one multi-resolution ladder per
+// hot trace, lazily: the most recent entry of each visited grid level is
+// pinned against the first eviction pass (see evictToBudgetLocked), so a
+// zoom back to a resolution the analyst has touched before lands next to
+// a warm same-level window and resolves as a hit or pan-derivation — the
+// serving-layer form of core.Pyramid, with a byte budget and
+// singleflight on top.
 type InputCache struct {
-	budget int64
-	opts   core.Options
+	budget    int64
+	opts      core.Options
+	ladderMax int
 
 	mu       sync.Mutex
 	lru      *list.List // of *entry; front = most recently used
@@ -91,6 +151,10 @@ type InputCache struct {
 	// unload) are discarded instead of parking unreachable entries
 	// against the budget.
 	purged map[string]uint64
+	// ladders holds the per-trace-load multi-resolution ladders: which
+	// entry is resident (and pinned) per grid level, and the last
+	// requested level for zoom classification.
+	ladders map[traceGen]*ladder
 
 	stats Stats
 }
@@ -98,20 +162,26 @@ type InputCache struct {
 // NewInputCache returns a cache holding at most budget bytes of Input
 // arenas (≤ 0 keeps nothing cached — every request builds, which the
 // eviction and benchmark paths use). opts configures every Input built
-// through the cache.
-func NewInputCache(budget int64, opts core.Options) *InputCache {
+// through the cache; ladderLevels caps each trace's pinned resolution
+// ladder (≤ 0 means DefaultLadderLevels).
+func NewInputCache(budget int64, opts core.Options, ladderLevels int) *InputCache {
+	if ladderLevels <= 0 {
+		ladderLevels = DefaultLadderLevels
+	}
 	return &InputCache{
-		budget:   budget,
-		opts:     opts,
-		lru:      list.New(),
-		entries:  make(map[windowKey]*list.Element),
-		inflight: make(map[windowKey]*flight),
-		purged:   make(map[string]uint64),
+		budget:    budget,
+		opts:      opts,
+		ladderMax: ladderLevels,
+		lru:       list.New(),
+		entries:   make(map[windowKey]*list.Element),
+		inflight:  make(map[windowKey]*flight),
+		purged:    make(map[string]uint64),
+		ladders:   make(map[traceGen]*ladder),
 	}
 }
 
 func keyFor(tr *Trace, sl timeslice.Slicer) windowKey {
-	return windowKey{trace: tr.ID, gen: tr.gen, slices: sl.N, start: sl.Start, end: sl.End}
+	return windowKey{trace: tr.ID, gen: tr.gen, level: levelOf(sl), slices: sl.N, start: sl.Start, end: sl.End}
 }
 
 // Get returns the Input for the trace restricted to sl's window, and how
@@ -147,10 +217,12 @@ func (c *InputCache) getOnce(ctx context.Context, tr *Trace, sl timeslice.Slicer
 	key := keyFor(tr, sl)
 
 	c.mu.Lock()
+	zoom := c.noteLevelLocked(key)
 	if el, ok := c.entries[key]; ok {
 		c.lru.MoveToFront(el)
 		c.stats.Hits.Add(1)
 		in := el.Value.(*entry).in
+		c.touchLadderLocked(key)
 		c.refreshLocked(el)
 		c.mu.Unlock()
 		return in, BuildHit, nil
@@ -203,6 +275,17 @@ func (c *InputCache) getOnce(ctx context.Context, tr *Trace, sl timeslice.Slicer
 	delete(c.inflight, key)
 	if f.err == nil {
 		c.insertLocked(keyFor(tr, f.in.Model.Slicer), f.in)
+		if zoom {
+			// A resolution change that built: the ladder either made it a
+			// derivation (the level was warm) or it fell through to the
+			// event index. Same-level builds are pans, counted elsewhere.
+			switch f.kind {
+			case BuildDerived:
+				c.stats.ZoomDerived.Add(1)
+			case BuildScratch:
+				c.stats.ZoomScratch.Add(1)
+			}
+		}
 	}
 	c.mu.Unlock()
 	close(f.done)
@@ -286,6 +369,148 @@ func reanchor(base, target timeslice.Slicer) (timeslice.Slicer, bool) {
 	return cand, true
 }
 
+// ladderLocked returns (creating if needed) the trace load's ladder.
+func (c *InputCache) ladderLocked(tg traceGen) *ladder {
+	ld := c.ladders[tg]
+	if ld == nil {
+		ld = &ladder{resident: make(map[uint64]windowKey)}
+		c.ladders[tg] = ld
+	}
+	return ld
+}
+
+// noteLevelLocked records key's grid level as the trace's last requested
+// resolution and reports whether this request changed level — a zoom, as
+// opposed to a pan or re-query at the current resolution.
+func (c *InputCache) noteLevelLocked(key windowKey) bool {
+	ld := c.ladderLocked(traceGen{key.trace, key.gen})
+	zoom := ld.hasLast && ld.last != key.level
+	ld.last, ld.hasLast = key.level, true
+	return zoom
+}
+
+// touchLadderLocked makes key the resident of its grid level and moves
+// the level to the most-recently-used end, dropping the oldest level's
+// pin beyond the cap. The resident entry per level is exempt from the
+// first eviction pass, so a hot trace's ladder survives pressure from
+// one-off windows.
+func (c *InputCache) touchLadderLocked(key windowKey) {
+	ld := c.ladderLocked(traceGen{key.trace, key.gen})
+	if _, ok := ld.resident[key.level]; !ok && len(ld.resident) >= c.ladderMax {
+		oldest := ld.order[0]
+		ld.order = ld.order[1:]
+		delete(ld.resident, oldest)
+	}
+	for i, l := range ld.order {
+		if l == key.level {
+			ld.order = append(ld.order[:i], ld.order[i+1:]...)
+			break
+		}
+	}
+	ld.order = append(ld.order, key.level)
+	ld.resident[key.level] = key
+}
+
+// pinnedLocked reports whether e is its level's ladder resident.
+func (c *InputCache) pinnedLocked(e *entry) bool {
+	ld := c.ladders[traceGen{e.key.trace, e.key.gen}]
+	return ld != nil && ld.resident[e.key.level] == e.key
+}
+
+// Admit is the arithmetic admission guard: it rejects a window whose
+// Input alone would exceed the cache budget, computed from the trace and
+// slice-count shape (core.EstimateMemoryBytes) before any arena is
+// allocated or any build starts — one oversized request must not evict an
+// entire working ladder just to cache a single entry that the next insert
+// drops anyway. A disabled cache admits everything (there is no ladder to
+// protect).
+func (c *InputCache) Admit(tr *Trace, sl timeslice.Slicer) error {
+	if c.budget <= 0 {
+		return nil
+	}
+	est := core.EstimateMemoryBytes(tr.resl.Hierarchy().NumNodes(), len(tr.resl.States()), sl.N)
+	if est > c.budget {
+		c.stats.Rejected.Add(1)
+		return fmt.Errorf("window at %d slices needs ~%d bytes of Input arenas, cache budget is %d bytes",
+			sl.N, est, c.budget)
+	}
+	return nil
+}
+
+// Cached reports whether sl's exact window is resident (refine probe —
+// no stats, no LRU movement).
+func (c *InputCache) Cached(tr *Trace, sl timeslice.Slicer) bool {
+	key := keyFor(tr, sl)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Preview returns a coarse stand-in for sl's window for progressive
+// responses: the tightest cached window of the same trace load that
+// contains [sl.Start, sl.End] — any level — served through its memoized
+// pair-merged overview. Nil when nothing covers the request (first touch
+// of a region) — the caller falls back to the synchronous path.
+func (c *InputCache) Preview(tr *Trace, sl timeslice.Slicer) *core.Input {
+	key := keyFor(tr, sl)
+	c.mu.Lock()
+	var best *entry
+	var bestEl *list.Element
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.key.trace != tr.ID || e.key.gen != tr.gen || e.key == key {
+			continue
+		}
+		if e.key.start > sl.Start || e.key.end < sl.End {
+			continue
+		}
+		if best == nil || e.key.end-e.key.start < best.key.end-best.key.start {
+			best, bestEl = e, el
+		}
+	}
+	if best == nil {
+		c.mu.Unlock()
+		return nil
+	}
+	c.lru.MoveToFront(bestEl)
+	c.mu.Unlock()
+	return c.overview(best)
+}
+
+// previewCoarsenMin: below this |T| a covering window is cheap enough to
+// solve as-is and doubles as its own preview; at or above it the preview
+// runs at half resolution (the solve is O(|T|³) — the coarse overview
+// answers ~8× faster).
+const previewCoarsenMin = 32
+
+// overview returns e's preview Input: the entry's own Input for small
+// windows, otherwise its factor-2 Coarsen, built at most once per entry
+// and charged against the cache budget alongside the entry.
+func (c *InputCache) overview(e *entry) *core.Input {
+	if e.key.slices < previewCoarsenMin || e.key.slices%2 != 0 {
+		return e.in
+	}
+	e.ovMu.Lock()
+	defer e.ovMu.Unlock()
+	if e.ov == nil {
+		ov, err := e.in.Coarsen(2)
+		if err != nil {
+			return e.in
+		}
+		e.ov = ov
+		c.mu.Lock()
+		if el, ok := c.entries[e.key]; ok && el.Value.(*entry) == e {
+			e.ovBytes = ov.MemoryBytes()
+			e.bytes += e.ovBytes
+			c.bytes += int64(e.ovBytes)
+			c.evictToBudgetLocked()
+		}
+		c.mu.Unlock()
+	}
+	return e.ov
+}
+
 // testHookBuildStart, when set by a test, runs at the start of every
 // flight's build with the flight's detached context, letting tests hold a
 // build in place and observe the all-waiters-cancelled semantics
@@ -357,14 +582,14 @@ func (c *InputCache) insertLocked(key windowKey, in *core.Input) {
 	}
 	if el, ok := c.entries[key]; ok { // lost a race with an equivalent build
 		c.lru.MoveToFront(el)
+		c.touchLadderLocked(key)
 		return
 	}
 	e := &entry{key: key, in: in, bytes: in.MemoryBytes()}
 	c.entries[key] = c.lru.PushFront(e)
 	c.bytes += int64(e.bytes)
-	for c.bytes > c.budget && c.lru.Len() > 1 {
-		c.evictLocked(c.lru.Back())
-	}
+	c.touchLadderLocked(key)
+	c.evictToBudgetLocked()
 }
 
 // refreshLocked re-reads an entry's byte cost (it grows as the Input's
@@ -373,12 +598,30 @@ func (c *InputCache) insertLocked(key windowKey, in *core.Input) {
 // its own victim.
 func (c *InputCache) refreshLocked(el *list.Element) {
 	e := el.Value.(*entry)
-	now := e.in.MemoryBytes()
+	now := e.in.MemoryBytes() + e.ovBytes
 	if now == e.bytes {
 		return
 	}
 	c.bytes += int64(now - e.bytes)
 	e.bytes = now
+	c.evictToBudgetLocked()
+}
+
+// evictToBudgetLocked brings the cache back under budget in two passes
+// from the LRU tail: first sparing ladder residents (one window per
+// visited resolution per hot trace stays warm under pressure from
+// one-off windows), then — if the pins alone still overflow — evicting
+// regardless, because the byte budget is the harder promise. The LRU
+// front (the entry that triggered the pass) is never its own victim.
+func (c *InputCache) evictToBudgetLocked() {
+	var prev *list.Element
+	for el := c.lru.Back(); el != nil && el.Prev() != nil && c.bytes > c.budget; el = prev {
+		prev = el.Prev()
+		if c.pinnedLocked(el.Value.(*entry)) {
+			continue
+		}
+		c.evictLocked(el)
+	}
 	for c.bytes > c.budget && c.lru.Len() > 1 {
 		c.evictLocked(c.lru.Back())
 	}
@@ -390,6 +633,15 @@ func (c *InputCache) evictLocked(el *list.Element) {
 	delete(c.entries, e.key)
 	c.bytes -= int64(e.bytes)
 	c.stats.Evictions.Add(1)
+	if ld := c.ladders[traceGen{e.key.trace, e.key.gen}]; ld != nil && ld.resident[e.key.level] == e.key {
+		delete(ld.resident, e.key.level)
+		for i, l := range ld.order {
+			if l == e.key.level {
+				ld.order = append(ld.order[:i], ld.order[i+1:]...)
+				break
+			}
+		}
+	}
 }
 
 // PurgeTrace drops every cached window of the given trace (unload path)
@@ -401,6 +653,11 @@ func (c *InputCache) PurgeTrace(traceID string, gen uint64) int {
 	defer c.mu.Unlock()
 	if gen > c.purged[traceID] {
 		c.purged[traceID] = gen
+	}
+	for tg := range c.ladders {
+		if tg.trace == traceID {
+			delete(c.ladders, tg)
+		}
 	}
 	n := 0
 	var next *list.Element

@@ -178,34 +178,92 @@ func intParam(q url.Values, name string, def int) (int, error) {
 	return v, nil
 }
 
-// inputFor runs the window through the cache and records the build path
+// resolveWindow resolves the trace and window of a query request and runs
+// the admission guard: a window whose Input alone would exceed the cache
+// budget is rejected with 413 before any arena is allocated — the
+// estimate is arithmetic (core.EstimateMemoryBytes), so the refusal costs
+// nothing and the working ladder is never evicted to make room for one
+// oversized request.
+func (s *Server) resolveWindow(w http.ResponseWriter, r *http.Request) (*Trace, timeslice.Slicer, bool) {
+	tr, ok := s.reg.Get(r.PathValue("id"))
+	if !ok {
+		httpErrorf(w, http.StatusNotFound, "trace %q not loaded", r.PathValue("id"))
+		return nil, timeslice.Slicer{}, false
+	}
+	sl, err := windowFromQuery(tr, r.URL.Query(), s.maxSlices)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return nil, timeslice.Slicer{}, false
+	}
+	if err := s.cache.Admit(tr, sl); err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return nil, timeslice.Slicer{}, false
+	}
+	return tr, sl, true
+}
+
+// getInput runs the window through the cache and records the build path
 // and latency in the response headers. The request's context rides along
 // into the cache fill: a request that is already dead (expired deadline,
 // disconnected client) is aborted with 499 before any build work, and one
 // that dies mid-build abandons its stake in the flight (see
 // InputCache.Get).
-func (s *Server) inputFor(w http.ResponseWriter, r *http.Request) (*Trace, *core.Input, bool) {
-	tr, ok := s.reg.Get(r.PathValue("id"))
-	if !ok {
-		httpErrorf(w, http.StatusNotFound, "trace %q not loaded", r.PathValue("id"))
-		return nil, nil, false
-	}
-	sl, err := windowFromQuery(tr, r.URL.Query(), s.maxSlices)
-	if err != nil {
-		httpError(w, http.StatusBadRequest, err)
-		return nil, nil, false
-	}
+func (s *Server) getInput(w http.ResponseWriter, r *http.Request, tr *Trace, sl timeslice.Slicer) (*core.Input, bool) {
 	start := time.Now()
 	in, kind, err := s.cache.Get(r.Context(), tr, sl)
 	if err != nil {
 		if !s.abortIfCancelled(w, err) {
 			httpError(w, http.StatusInternalServerError, err)
 		}
-		return nil, nil, false
+		return nil, false
 	}
 	w.Header().Set(buildHeader, string(kind))
 	w.Header().Set(buildLatencyHeader, strconv.FormatInt(time.Since(start).Microseconds(), 10))
+	return in, true
+}
+
+// inputFor is resolveWindow + getInput — the shared serve path of every
+// query endpoint.
+func (s *Server) inputFor(w http.ResponseWriter, r *http.Request) (*Trace, *core.Input, bool) {
+	tr, sl, ok := s.resolveWindow(w, r)
+	if !ok {
+		return nil, nil, false
+	}
+	in, ok := s.getInput(w, r, tr, sl)
+	if !ok {
+		return nil, nil, false
+	}
 	return tr, in, true
+}
+
+// refineLookup implements the progressive zoom path (aggregate with
+// refine=1). When the exact window is already cached the response is
+// final ("ready"). Otherwise, if some cached window covers the request,
+// its coarse overview is served immediately as a preview ("pending") and
+// the fine build is kicked off in the background under its own deadline —
+// singleflight dedups concurrent refines of one window — so the client's
+// follow-up request for the same URL lands on a warm entry. With nothing
+// covering the request ("none") the caller falls back to the synchronous
+// path.
+func (s *Server) refineLookup(tr *Trace, sl timeslice.Slicer) (*core.Input, string) {
+	if s.cache.Cached(tr, sl) {
+		return nil, "ready"
+	}
+	pv := s.cache.Preview(tr, sl)
+	if pv == nil {
+		return nil, "none"
+	}
+	s.cache.stats.Previews.Add(1)
+	go func() {
+		ctx := context.Background()
+		if s.timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, s.timeout)
+			defer cancel()
+		}
+		s.cache.Get(ctx, tr, sl)
+	}()
+	return pv, "pending"
 }
 
 // windowJSON describes the exact window a response was computed over.
@@ -233,26 +291,48 @@ type areaJSON struct {
 	Rho    []float64 `json:"rho"`
 }
 
-// aggregateJSON is the GET /traces/{id}/aggregate body.
+// aggregateJSON is the GET /traces/{id}/aggregate body. Preview marks a
+// progressive (refine=1) response computed over a coarse covering window
+// instead of the requested one; it is omitted otherwise, so non-preview
+// bodies stay byte-identical across build paths.
 type aggregateJSON struct {
-	Trace  string     `json:"trace"`
-	P      float64    `json:"p"`
-	Window windowJSON `json:"window"`
-	Gain   float64    `json:"gain"`
-	Loss   float64    `json:"loss"`
-	PIC    float64    `json:"pic"`
-	Areas  []areaJSON `json:"areas"`
+	Trace   string     `json:"trace"`
+	P       float64    `json:"p"`
+	Window  windowJSON `json:"window"`
+	Preview bool       `json:"preview,omitempty"`
+	Gain    float64    `json:"gain"`
+	Loss    float64    `json:"loss"`
+	PIC     float64    `json:"pic"`
+	Areas   []areaJSON `json:"areas"`
 }
 
 func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
-	p, err := floatParam(r.URL.Query(), "p", 0.35)
+	q := r.URL.Query()
+	p, err := floatParam(q, "p", 0.35)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err)
 		return
 	}
-	tr, in, ok := s.inputFor(w, r)
+	tr, sl, ok := s.resolveWindow(w, r)
 	if !ok {
 		return
+	}
+	var in *core.Input
+	preview := false
+	if q.Get("refine") == "1" {
+		start := time.Now()
+		pv, state := s.refineLookup(tr, sl)
+		w.Header().Set(refineHeader, state)
+		if pv != nil {
+			in, preview = pv, true
+			w.Header().Set(buildHeader, string(BuildPreview))
+			w.Header().Set(buildLatencyHeader, strconv.FormatInt(time.Since(start).Microseconds(), 10))
+		}
+	}
+	if in == nil {
+		if in, ok = s.getInput(w, r, tr, sl); !ok {
+			return
+		}
 	}
 	pt, err := s.solve(r.Context(), in, p)
 	if err != nil {
@@ -262,13 +342,14 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := aggregateJSON{
-		Trace:  tr.ID,
-		P:      p,
-		Window: windowOf(in),
-		Gain:   pt.Gain,
-		Loss:   pt.Loss,
-		PIC:    pt.PIC,
-		Areas:  make([]areaJSON, 0, len(pt.Areas)),
+		Trace:   tr.ID,
+		P:       p,
+		Window:  windowOf(in),
+		Preview: preview,
+		Gain:    pt.Gain,
+		Loss:    pt.Loss,
+		PIC:     pt.PIC,
+		Areas:   make([]areaJSON, 0, len(pt.Areas)),
 	}
 	states := tr.resl.States()
 	for _, ar := range pt.Areas {

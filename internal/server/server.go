@@ -24,15 +24,28 @@
 //	GET    /traces/{id}/quality         quality-curve samples at given ps
 //	GET    /traces/{id}/render          PNG/SVG view of the partition
 //	GET    /debug/cachestats            cache counters (hits/derived/...)
+//	GET    /metrics                     the same counters, Prometheus format
 //	GET    /healthz                     liveness
 //
 // Window selection is shared by every query endpoint: lo/hi (absolute
 // times, default: the whole trace), slices (|T|, default 30) and pan (a
 // slice shift applied on the window's grid, the interactive-pan path —
 // grid-exact, so a panned request is derivable from its anchor's cached
-// Input). Responses carry the build path (hit/derived/scratch/coalesced)
-// and build latency in X-Ocelotl-Build / X-Ocelotl-Build-Us headers,
-// keeping bodies byte-comparable across build paths.
+// Input). Responses carry the build path (hit/derived/scratch/coalesced/
+// preview) and build latency in X-Ocelotl-Build / X-Ocelotl-Build-Us
+// headers, keeping bodies byte-comparable across build paths.
+//
+// The cache behind those endpoints is multi-resolution (see InputCache):
+// entries are keyed by (trace, grid level, window) and the most recent
+// entry per visited level is pinned as a per-trace ladder, so zooming
+// back to a familiar resolution resolves as a hit or an incremental
+// same-grid derivation instead of an event-index rebuild. Two guards
+// bound the residency this trades on: windows whose single Input would
+// exceed the cache budget are rejected up front with 413 (estimated
+// arithmetically, before building), and /aggregate accepts refine=1 for
+// progressive zooms — when a cached window covers the request, its coarse
+// overview is returned immediately (X-Ocelotl-Refine: pending, body
+// marked "preview") while the fine build proceeds in the background.
 //
 // Every request's context is plumbed through the cache fill and into the
 // engine's ctx-aware entry points (core.RunContext, SweepQualityContext,
@@ -71,6 +84,11 @@ type Config struct {
 	// serve path forwards into the engine — so expiry does not merely
 	// report failure, it cancels the request's remaining solve/sweep work.
 	RequestTimeout time.Duration
+	// LadderLevels caps each hot trace's pinned resolution ladder: the
+	// most recent cached window of up to this many grid levels is spared
+	// by the first eviction pass, keeping zoom-backs warm (default
+	// DefaultLadderLevels).
+	LadderLevels int
 	// MaxSlices caps the slices (|T|) parameter of window requests
 	// (default DefaultMaxSlices). A single Input costs
 	// O(|H(S)|·|T|²) memory and the build is paid before the cache
@@ -120,7 +138,7 @@ func New(cfg Config) *Server {
 	}
 	return &Server{
 		reg:       NewRegistry(),
-		cache:     NewInputCache(budget, cfg.Core),
+		cache:     NewInputCache(budget, cfg.Core, cfg.LadderLevels),
 		log:       logger,
 		timeout:   timeout,
 		maxSlices: maxSlices,
@@ -146,6 +164,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces/{id}/quality", s.handleQuality)
 	mux.HandleFunc("GET /traces/{id}/render", s.handleRender)
 	mux.HandleFunc("GET /debug/cachestats", s.handleCacheStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
@@ -209,6 +228,12 @@ func (s *Server) logRequests(next http.Handler) http.Handler {
 const (
 	buildHeader        = "X-Ocelotl-Build"
 	buildLatencyHeader = "X-Ocelotl-Build-Us"
+	// refineHeader reports the progressive-zoom state of an aggregate
+	// request with refine=1: "ready" (the exact window was cached — the
+	// body is final), "pending" (the body is a coarse covering preview;
+	// the fine build is running, re-request to get it), or "none" (nothing
+	// covered the request; the body was built synchronously and is final).
+	refineHeader = "X-Ocelotl-Refine"
 )
 
 // writeJSON serializes v with a trailing newline.

@@ -307,7 +307,7 @@ func TestEvictionUnderTinyBudget(t *testing.T) {
 	probe := core.NewInput(tr.resl.BuildAt(sl), core.Options{})
 	budget := int64(probe.MemoryBytes()) + 64 // one entry fits, two don't
 
-	c := NewInputCache(budget, core.Options{})
+	c := NewInputCache(budget, core.Options{}, 0)
 	// Three pairwise non-overlapping windows (pans ≥ |T| share nothing).
 	w1 := sl
 	w2 := sl.Shift(16)
@@ -344,7 +344,7 @@ func TestDerivedMatchesScratchAtCacheLevel(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := NewInputCache(DefaultCacheBytes, core.Options{})
+	c := NewInputCache(DefaultCacheBytes, core.Options{}, 0)
 	if _, kind, err := c.Get(context.Background(), tr, sl); err != nil || kind != BuildScratch {
 		t.Fatalf("anchor: kind %v err %v", kind, err)
 	}
@@ -472,7 +472,7 @@ func TestSlicesCapAndFiniteWindow(t *testing.T) {
 // of an unloaded trace must never serve a reload of the same id — each
 // load gets its own cache generation.
 func TestReloadedTraceDoesNotHitStaleCache(t *testing.T) {
-	c := NewInputCache(DefaultCacheBytes, core.Options{})
+	c := NewInputCache(DefaultCacheBytes, core.Options{}, 0)
 	regA := NewRegistry()
 	trOld, err := regA.LoadTrace("a", mpisim.ArtificialSized(8, 40))
 	if err != nil {
@@ -542,7 +542,7 @@ func TestCacheAccountsForSolverPoolWarmup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c := NewInputCache(DefaultCacheBytes, core.Options{})
+	c := NewInputCache(DefaultCacheBytes, core.Options{}, 0)
 	in, _, err := c.Get(context.Background(), tr, sl)
 	if err != nil {
 		t.Fatal(err)

@@ -8,11 +8,19 @@ import "sync/atomic"
 // builds abandoned by cancellation). Aborted counts requests dropped on
 // cancellation anywhere along the serve path — an expired deadline at
 // entry, an abandoned cache fill, or a solve/sweep cut short — i.e. work
-// whose response nobody was waiting for anymore.
+// whose response nobody was waiting for anymore. Rejected counts windows
+// turned away by the arithmetic admission guard (413) before any build.
 // SweepQueries / SweepPs count the multi-p work served through the fused
 // engine path (/significant and /quality): queries is the number of sweep
 // requests answered, ps the total p points they returned — the ratio is
 // the average fan-out a sweep request amortizes over the shared Input.
+// ZoomDerived / ZoomScratch split the builds triggered by a resolution
+// change (the request's grid level differs from the trace's previous
+// request): derived means the ladder had the level warm and the build was
+// an incremental Update, scratch means it fell through to the event
+// index — the ratio is the pyramid's zoom hit rate. Previews counts
+// refine requests answered immediately with a coarse covering window
+// while the fine build proceeded in the background.
 type Stats struct {
 	Hits         atomic.Int64
 	Misses       atomic.Int64
@@ -21,6 +29,10 @@ type Stats struct {
 	Scratch      atomic.Int64
 	Evictions    atomic.Int64
 	Aborted      atomic.Int64
+	Rejected     atomic.Int64
+	ZoomDerived  atomic.Int64
+	ZoomScratch  atomic.Int64
+	Previews     atomic.Int64
 	SweepQueries atomic.Int64
 	SweepPs      atomic.Int64
 }
@@ -34,6 +46,10 @@ type StatsSnapshot struct {
 	Scratch      int64 `json:"scratch_builds"`
 	Evictions    int64 `json:"evictions"`
 	Aborted      int64 `json:"aborted"`
+	Rejected     int64 `json:"rejected"`
+	ZoomDerived  int64 `json:"zoom_derived"`
+	ZoomScratch  int64 `json:"zoom_scratch"`
+	Previews     int64 `json:"previews"`
 	SweepQueries int64 `json:"sweep_queries"`
 	SweepPs      int64 `json:"sweep_ps"`
 	Entries      int   `json:"entries"`
@@ -50,6 +66,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Scratch:      s.Scratch.Load(),
 		Evictions:    s.Evictions.Load(),
 		Aborted:      s.Aborted.Load(),
+		Rejected:     s.Rejected.Load(),
+		ZoomDerived:  s.ZoomDerived.Load(),
+		ZoomScratch:  s.ZoomScratch.Load(),
+		Previews:     s.Previews.Load(),
 		SweepQueries: s.SweepQueries.Load(),
 		SweepPs:      s.SweepPs.Load(),
 	}

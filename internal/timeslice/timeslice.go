@@ -69,6 +69,46 @@ func (s Slicer) OnGrid(o Slicer) (k int, ok bool) {
 	return o.off - s.off, true
 }
 
+// Grid exposes the slicer's grid anchoring (origin, slice width, offset of
+// slice 0 on that grid). Two slicers with equal base and width address the
+// same grid at possibly different offsets — the identity the multi-
+// resolution pyramid keys its levels by. A hand-assembled slicer (w ≤ 0)
+// reports its window-derived width anchored at its own start.
+func (s Slicer) Grid() (base, width float64, off int) {
+	if s.w > 0 {
+		return s.base, s.w, s.off
+	}
+	return s.Start, s.Width(), 0
+}
+
+// CoarsenGrid returns the slicer covering the same window with n/factor
+// slices of width·factor, anchored on the coarsened grid (same origin,
+// every factor-th boundary). factor must be a power of two ≥ 2 (so
+// width·factor is float-exact and the coarse boundaries are bit-exact
+// members of the fine grid), N must be divisible by factor, and the grid
+// offset must be divisible by factor; pyramid levels anchored at a trace
+// origin satisfy this by construction, arbitrary pans may not.
+func (s Slicer) CoarsenGrid(factor int) (Slicer, error) {
+	if factor < 2 || factor&(factor-1) != 0 {
+		return Slicer{}, fmt.Errorf("timeslice: coarsen factor %d not a power of two ≥ 2", factor)
+	}
+	if s.N%factor != 0 {
+		return Slicer{}, fmt.Errorf("timeslice: %d slices not divisible by factor %d", s.N, factor)
+	}
+	base, w, off := s.Grid()
+	if off%factor != 0 {
+		return Slicer{}, fmt.Errorf("timeslice: grid offset %d not aligned to factor %d", off, factor)
+	}
+	return Slicer{
+		Start: s.Start,
+		End:   s.End,
+		N:     s.N / factor,
+		base:  base,
+		off:   off / factor,
+		w:     w * float64(factor),
+	}, nil
+}
+
 // Width returns the duration d(t) of one slice (slices are regular).
 func (s Slicer) Width() float64 {
 	if s.w > 0 {

@@ -2,8 +2,8 @@
 # Compare a fresh benchmark run against the committed BENCH_core.json and
 # fail on regressions of the named hot-path benchmarks, so a PR cannot
 # silently give back the engine's headline wins (the fused p-sweep, the
-# batched significant-p frontier, the incremental pan, the serving hit
-# path, the Table II solve).
+# batched significant-p frontier, the incremental pan, the pyramid zoom,
+# the serving hit path, the Table II solve).
 #
 #   scripts/benchdiff.sh                    # gated benches only, 5 iters, +25%
 #   REGRESS_PCT=40 scripts/benchdiff.sh     # looser gate
@@ -42,7 +42,10 @@ BenchmarkSignificantPs_Batched
 BenchmarkSweepFused_K4
 BenchmarkSweepFused_K16
 BenchmarkWindowPan_Incremental
+BenchmarkWindowZoom_Incremental
+BenchmarkWindowZoomOut_Incremental
 BenchmarkServerPan_Hit
+BenchmarkServerZoom_Pyramid
 BenchmarkTable2_AggregationRun_C
 "
 # BenchmarkSweepCancel is gated on its cancel_ns_per_op metric instead of
