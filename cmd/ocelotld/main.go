@@ -28,8 +28,17 @@
 // Windows whose single Input would exceed the cache budget are rejected
 // with 413 before any build.
 //
-// The daemon shuts down gracefully on SIGINT/SIGTERM, draining in-flight
-// requests.
+// Overload control: at most -max-builds window builds run concurrently
+// (-build-queue more wait FIFO; the rest are shed with 503 +
+// Retry-After), and an /aggregate whose fine build runs past
+// -degrade-after is answered from the coarse covering preview
+// (X-Ocelotl-Degraded) while the build finishes in the background.
+// -failpoint arms named fault-injection sites for chaos testing —
+// /debug/failpoints lists what's armed, and must be empty in production.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
+// 503 immediately (wait -drain-wait for balancers to notice), then the
+// listener closes and in-flight requests drain.
 package main
 
 import (
@@ -46,6 +55,7 @@ import (
 	"time"
 
 	"ocelotl/internal/core"
+	"ocelotl/internal/failpoint"
 	"ocelotl/internal/server"
 )
 
@@ -60,6 +70,10 @@ func main() {
 		maxSlices = flag.Int("max-slices", 0, "per-request cap on the slices (|T|) parameter (0 = default 512)")
 		ladder    = flag.Int("ladder-levels", 0, "pinned resolution levels per hot trace (0 = default 8)")
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown grace period")
+		drainWait = flag.Duration("drain-wait", 0, "pause between flipping /readyz to draining and closing the listener, so balancers stop routing first")
+		maxBuilds = flag.Int("max-builds", 0, "concurrent window builds admitted by the overload gate (0 = GOMAXPROCS, negative disables the gate)")
+		buildQ    = flag.Int("build-queue", 0, "builds allowed to queue for a gate slot before shedding (0 = 4x max-builds)")
+		degrade   = flag.Duration("degrade-after", 0, "serve the coarse covering preview when a fine build runs past this (0 = default 2s, negative disables)")
 		verbose   = flag.Bool("v", false, "debug-level logging")
 	)
 	var preloads []string
@@ -68,6 +82,14 @@ func main() {
 			return fmt.Errorf("want id=path, got %q", v)
 		}
 		preloads = append(preloads, v)
+		return nil
+	})
+	var failpoints []string
+	flag.Func("failpoint", "arm a failpoint as name=spec, e.g. 'server/flight=10%error(chaos)' (repeatable; chaos testing only)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want name=spec, got %q", v)
+		}
+		failpoints = append(failpoints, v)
 		return nil
 	})
 	flag.Parse()
@@ -82,13 +104,25 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // disable rather than fall back to the default
 	}
+	for _, spec := range failpoints {
+		name, fpSpec, _ := strings.Cut(spec, "=")
+		if err := failpoint.Enable(name, fpSpec); err != nil {
+			logger.Error("bad -failpoint", "spec", spec, "error", err)
+			os.Exit(1)
+		}
+		logger.Warn("failpoint armed — chaos configuration, not for production", "name", name, "spec", fpSpec)
+	}
+
 	srv := server.New(server.Config{
-		CacheBytes:     cacheBytes,
-		Core:           core.Options{Normalize: *normalize, Workers: *workers, SolverPoolBound: *poolBound},
-		RequestTimeout: *timeout,
-		MaxSlices:      *maxSlices,
-		LadderLevels:   *ladder,
-		Logger:         logger,
+		CacheBytes:          cacheBytes,
+		Core:                core.Options{Normalize: *normalize, Workers: *workers, SolverPoolBound: *poolBound},
+		RequestTimeout:      *timeout,
+		MaxSlices:           *maxSlices,
+		LadderLevels:        *ladder,
+		MaxConcurrentBuilds: *maxBuilds,
+		MaxQueuedBuilds:     *buildQ,
+		DegradeAfter:        *degrade,
+		Logger:              logger,
 	})
 	for _, spec := range preloads {
 		id, path, _ := strings.Cut(spec, "=")
@@ -117,6 +151,14 @@ func main() {
 		logger.Error("server failed", "error", err)
 		os.Exit(1)
 	case <-ctx.Done():
+	}
+	// Flip /readyz to draining first so load balancers stop routing new
+	// requests, then (after -drain-wait) close the listener and drain
+	// what's in flight.
+	srv.SetDraining(true)
+	if *drainWait > 0 {
+		logger.Info("draining", "wait", *drainWait)
+		time.Sleep(*drainWait)
 	}
 	logger.Info("shutting down", "grace", *grace)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)

@@ -1,0 +1,117 @@
+// Command ocelotlsmoke drives a running ocelotld through the client
+// package and exits non-zero on any contract violation. CI uses it as
+// the serving smoke: it checks readiness, loads a trace, exercises the
+// aggregate/quality endpoints (retrying sheds politely via Retry-After),
+// asserts the strict-validation 400s, and — the production gate — fails
+// if any failpoint is armed, so a chaos configuration can never ship
+// looking green.
+//
+//	ocelotlsmoke -addr http://localhost:8087 -trace smoke=trace.bin
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"strings"
+	"time"
+
+	"ocelotl/internal/server/client"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "http://localhost:8087", "ocelotld base URL")
+		traceKV = flag.String("trace", "", "load a trace as id=path before querying (optional)")
+		timeout = flag.Duration("timeout", 60*time.Second, "overall smoke deadline")
+	)
+	flag.Parse()
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	c := client.New(*addr)
+
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "ocelotlsmoke: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// The daemon may still be binding; poll readiness under the deadline.
+	for {
+		if err := c.Ready(ctx); err == nil {
+			break
+		} else if ctx.Err() != nil {
+			fail("server never became ready: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Production gate: no armed failpoints.
+	if names, err := c.ActiveFailpoints(ctx); err != nil {
+		fail("failpoint gate: %v", err)
+	} else if len(names) > 0 {
+		fail("failpoint gate: %d failpoint(s) armed in a production build: %s", len(names), strings.Join(names, ", "))
+	}
+
+	id := "smoke"
+	if *traceKV != "" {
+		path := ""
+		var ok bool
+		if id, path, ok = strings.Cut(*traceKV, "="); !ok {
+			fail("-trace wants id=path, got %q", *traceKV)
+		}
+		if err := c.LoadTrace(ctx, id, path); err != nil {
+			fail("loading trace: %v", err)
+		}
+	}
+
+	// A real aggregate answer, whatever build path served it.
+	res, err := c.Get(ctx, "/traces/"+id+"/aggregate", url.Values{"p": {"0.35"}, "slices": {"30"}})
+	if err != nil {
+		fail("aggregate: %v", err)
+	}
+	if res.Status != http.StatusOK {
+		fail("aggregate: %d: %s", res.Status, strings.TrimSpace(string(res.Body)))
+	}
+	var agg struct {
+		Areas []json.RawMessage `json:"areas"`
+	}
+	if err := json.Unmarshal(res.Body, &agg); err != nil || len(agg.Areas) == 0 {
+		fail("aggregate body unusable (err=%v, %d areas): %.200s", err, len(agg.Areas), res.Body)
+	}
+
+	// The same window again must hit the cache (and still be 200).
+	if res, err = c.Get(ctx, "/traces/"+id+"/aggregate", url.Values{"p": {"0.35"}, "slices": {"30"}}); err != nil || res.Status != http.StatusOK {
+		fail("aggregate rerun: status %d, err %v", res.Status, err)
+	}
+
+	// Strict validation: garbage windows are the client's fault, 400 —
+	// never a 500.
+	for _, q := range []url.Values{
+		{"slices": {"0"}},
+		{"slices": {"-3"}},
+		{"lo": {"NaN"}},
+		{"hi": {"Inf"}},
+		{"lo": {"-1"}},
+		{"lo": {"5"}, "hi": {"2"}},
+	} {
+		res, err := c.Get(ctx, "/traces/"+id+"/aggregate", q)
+		if err != nil {
+			fail("validation probe %v: %v", q, err)
+		}
+		if res.Status != http.StatusBadRequest {
+			fail("validation probe %v: status %d, want 400 (%s)", q, res.Status, strings.TrimSpace(string(res.Body)))
+		}
+	}
+
+	// Quality sweep still answers.
+	if res, err = c.Get(ctx, "/traces/"+id+"/quality", url.Values{"slices": {"25"}, "ps": {"0.2,0.5,0.8"}}); err != nil || res.Status != http.StatusOK {
+		fail("quality: status %d, err %v", res.Status, err)
+	}
+
+	fmt.Println("ocelotlsmoke: ok")
+}

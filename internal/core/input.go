@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ocelotl/internal/failpoint"
 	"ocelotl/internal/hierarchy"
 	"ocelotl/internal/measures"
 	"ocelotl/internal/microscopic"
@@ -130,10 +131,22 @@ func (o Options) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
+// FailpointInputFill names the fault-injection site at the head of every
+// input pass (NewInputContext/NewInput), the most expensive stage of a
+// window build — chaos tests use it to make builds fail, stall, or panic.
+const FailpointInputFill = "core/input-fill"
+
 // NewInput runs the input pass: per-node slice rows, prefix sums and the
-// fused gain/loss triangular matrices for every area of A(S×T).
+// fused gain/loss triangular matrices for every area of A(S×T). With a
+// background context the pass cannot fail — except through an armed
+// FailpointInputFill, whose injected error panics here rather than
+// returning a nil Input; the serving layer's recovery converts that into
+// a 500, and non-chaos processes never arm failpoints.
 func NewInput(m *microscopic.Model, opt Options) *Input {
-	in, _ := NewInputContext(context.Background(), m, opt)
+	in, err := NewInputContext(context.Background(), m, opt)
+	if err != nil {
+		panic(err)
+	}
 	return in
 }
 
@@ -147,6 +160,9 @@ func NewInput(m *microscopic.Model, opt Options) *Input {
 // arenas.
 func NewInputContext(ctx context.Context, m *microscopic.Model, opt Options) (*Input, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := failpoint.InjectContext(ctx, FailpointInputFill); err != nil {
 		return nil, err
 	}
 	T, X := m.NumSlices(), m.NumStates()

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"ocelotl/internal/failpoint"
 	"ocelotl/internal/microscopic"
 	"ocelotl/internal/timeslice"
 )
@@ -28,10 +29,18 @@ func (in *Input) Coarsen(factor int) (*Input, error) {
 	return in.CoarsenContext(context.Background(), factor)
 }
 
+// FailpointCoarsen names the fault-injection site at the head of every
+// pair-merge coarsening (preview overviews) — chaos tests use it to fail
+// the degrade path independently of the fine build.
+const FailpointCoarsen = "core/coarsen"
+
 // CoarsenContext is Coarsen with cooperative cancellation, checked once
 // per hierarchy node inside the coarse matrix fill like every other input
 // pass.
 func (in *Input) CoarsenContext(ctx context.Context, factor int) (*Input, error) {
+	if err := failpoint.InjectContext(ctx, FailpointCoarsen); err != nil {
+		return nil, err
+	}
 	m, err := in.Model.MergePairs(factor)
 	if err != nil {
 		return nil, fmt.Errorf("core: coarsen: %w", err)

@@ -1,0 +1,36 @@
+// Package failpoint provides named, deterministically-triggerable fault
+// injection points for chaos testing the serving pipeline. A failpoint is
+// a call site — failpoint.Inject("server/flight") — that does nothing in
+// production (one atomic load when the registry is empty) and, when a
+// test or an operator enables it, injects a fault: an error, a delay, or
+// a panic, fired by count, probability, or a sequence of both.
+//
+// Layering: failpoint sits below everything that injects through it
+// (traceio, core, server) and imports nothing of the engine — it is pure
+// registry + spec interpreter, so any layer can name a site without an
+// import cycle.
+//
+// Specs are sequences of terms separated by "->"; each hit of the
+// failpoint consumes the current term:
+//
+//	3*off->1*error(boom)     pass three times, then fail once, then off
+//	2*delay(10ms)->panic(x)  two 10 ms stalls, then panic on every hit
+//	25%error(flaky)          fail one hit in four (deterministic PRNG)
+//
+// Actions: off (no fault), error(msg) (return an error wrapping
+// ErrInjected), delay(dur) (sleep, cancellable through InjectContext),
+// panic(msg) (panic with a PanicValue, so recovery sites can tell an
+// injected panic from a real one). A term with a count N* fires N hits
+// and then advances to the next term; a term without a count (including
+// P% probability terms) is terminal and keeps firing forever, so only the
+// last term may omit the count. A failpoint whose terms are exhausted
+// stops injecting but stays listed in Active until disabled.
+//
+// Probability terms draw from a PRNG seeded from the failpoint's name (or
+// an explicit Seed), so a chaos run replays identically: the k-th hit of
+// a given failpoint fires or not independent of scheduling.
+//
+// Production builds are expected to run with an empty registry: nothing
+// in this package enables a failpoint on its own, and the serving smoke
+// gates releases on Active() being empty (via /debug/failpoints).
+package failpoint

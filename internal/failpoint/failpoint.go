@@ -1,0 +1,332 @@
+package failpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is wrapped by every error a failpoint injects, so callers
+// and tests can classify a failure as injected chaos rather than a real
+// fault: errors.Is(err, failpoint.ErrInjected).
+var ErrInjected = errors.New("failpoint: injected fault")
+
+// PanicValue is the value an enabled panic(msg) term panics with;
+// recovery sites can detect injected panics with a type assertion.
+type PanicValue struct {
+	Name string // the failpoint that fired
+	Msg  string
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("failpoint %s: %s", p.Name, p.Msg)
+}
+
+// injectedError carries the failpoint name and message and matches
+// ErrInjected under errors.Is.
+type injectedError struct {
+	name string
+	msg  string
+}
+
+func (e *injectedError) Error() string {
+	return fmt.Sprintf("failpoint %s: %s", e.name, e.msg)
+}
+
+func (e *injectedError) Is(target error) bool { return target == ErrInjected }
+
+// actionKind enumerates the fault a term injects.
+type actionKind int
+
+const (
+	actOff actionKind = iota
+	actError
+	actDelay
+	actPanic
+)
+
+// term is one stage of a failpoint's firing sequence.
+type term struct {
+	kind  actionKind
+	msg   string        // error/panic payload
+	delay time.Duration // delay payload
+	count int           // remaining firings; < 0 = unlimited (terminal)
+	prob  float64       // fire probability; 1 = always
+}
+
+// point is one enabled failpoint.
+type point struct {
+	name  string
+	spec  string
+	terms []term
+	cur   int
+	fn    func(context.Context) error // EnableFunc override
+	rng   *rand.Rand
+	hits  int64 // total Inject evaluations while enabled
+}
+
+var (
+	// enabledCount gates the Inject fast path: zero means the registry is
+	// empty and Inject returns before taking any lock.
+	enabledCount atomic.Int32
+
+	mu     sync.Mutex
+	points = make(map[string]*point)
+)
+
+// Enable arms the named failpoint with a spec (see the package comment
+// for the grammar), replacing any previous arming. The spec is validated
+// up front; a bad spec leaves the failpoint untouched.
+func Enable(name, spec string) error {
+	return enableSeeded(name, spec, 0, false)
+}
+
+// EnableSeeded is Enable with an explicit PRNG seed for probability
+// terms, for tests that need distinct replayable chaos schedules from one
+// spec.
+func EnableSeeded(name, spec string, seed int64) error {
+	return enableSeeded(name, spec, seed, true)
+}
+
+func enableSeeded(name, spec string, seed int64, haveSeed bool) error {
+	if name == "" {
+		return fmt.Errorf("failpoint: empty name")
+	}
+	terms, err := parseSpec(spec)
+	if err != nil {
+		return fmt.Errorf("failpoint %s: %w", name, err)
+	}
+	if !haveSeed {
+		h := fnv.New64a()
+		h.Write([]byte(name))
+		seed = int64(h.Sum64())
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		enabledCount.Add(1)
+	}
+	points[name] = &point{
+		name:  name,
+		spec:  spec,
+		terms: terms,
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+	return nil
+}
+
+// EnableFunc arms the named failpoint with an arbitrary callback: every
+// Inject at the site calls fn with the caller's context and returns its
+// error. This is the deterministic-test hook — a callback can block until
+// released, observe the site's context, or coordinate with the test body —
+// replacing per-site ad-hoc test hooks.
+func EnableFunc(name string, fn func(ctx context.Context) error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; !ok {
+		enabledCount.Add(1)
+	}
+	points[name] = &point{name: name, spec: "func", fn: fn}
+}
+
+// Disable disarms the named failpoint; a disabled site costs one atomic
+// load again. Disabling an already-disabled name is a no-op.
+func Disable(name string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[name]; ok {
+		delete(points, name)
+		enabledCount.Add(-1)
+	}
+}
+
+// DisableAll disarms every failpoint (test cleanup).
+func DisableAll() {
+	mu.Lock()
+	defer mu.Unlock()
+	enabledCount.Add(-int32(len(points)))
+	points = make(map[string]*point)
+}
+
+// Status describes one enabled failpoint for listings.
+type Status struct {
+	Name string `json:"name"`
+	Spec string `json:"spec"`
+	Hits int64  `json:"hits"`
+}
+
+// Active lists the enabled failpoints sorted by name. Empty in any
+// production process — the serving smoke gates on it.
+func Active() []Status {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Status, 0, len(points))
+	for _, p := range points {
+		out = append(out, Status{Name: p.name, Spec: p.spec, Hits: p.hits})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Hits returns how many times the named failpoint has been evaluated
+// since it was enabled (0 when disabled).
+func Hits(name string) int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	if p, ok := points[name]; ok {
+		return p.hits
+	}
+	return 0
+}
+
+// Inject evaluates the named failpoint: a no-op (one atomic load) unless
+// the registry armed the name. Delay terms sleep uninterruptibly here;
+// sites with a context should prefer InjectContext.
+func Inject(name string) error {
+	return InjectContext(context.Background(), name)
+}
+
+// InjectContext evaluates the named failpoint with the site's context:
+// injected delays wake early (returning ctx.Err()) when the context dies,
+// so a chaos stall never outlives the request it is stalling.
+func InjectContext(ctx context.Context, name string) error {
+	if enabledCount.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	p, ok := points[name]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	p.hits++
+	if p.fn != nil {
+		fn := p.fn
+		mu.Unlock()
+		return fn(ctx)
+	}
+	kind, msg, delay, fire := p.nextLocked()
+	mu.Unlock()
+	if !fire {
+		return nil
+	}
+	switch kind {
+	case actError:
+		return &injectedError{name: name, msg: msg}
+	case actDelay:
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	case actPanic:
+		panic(PanicValue{Name: name, Msg: msg})
+	}
+	return nil
+}
+
+// nextLocked advances the point's term sequence by one hit and reports
+// what (if anything) to inject.
+func (p *point) nextLocked() (kind actionKind, msg string, delay time.Duration, fire bool) {
+	for p.cur < len(p.terms) {
+		t := &p.terms[p.cur]
+		if t.count == 0 {
+			p.cur++
+			continue
+		}
+		if t.count > 0 {
+			t.count--
+		}
+		if t.prob < 1 && p.rng.Float64() >= t.prob {
+			return 0, "", 0, false
+		}
+		if t.kind == actOff {
+			return 0, "", 0, false
+		}
+		return t.kind, t.msg, t.delay, true
+	}
+	return 0, "", 0, false
+}
+
+// parseSpec compiles "3*off->1*error(boom)" into terms.
+func parseSpec(spec string) ([]term, error) {
+	parts := strings.Split(spec, "->")
+	terms := make([]term, 0, len(parts))
+	for i, part := range parts {
+		t, err := parseTerm(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if t.count < 0 && i != len(parts)-1 {
+			return nil, fmt.Errorf("term %q has no count and would never advance; only the last term may omit N*", part)
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}
+
+func parseTerm(s string) (term, error) {
+	t := term{count: -1, prob: 1}
+	if s == "" {
+		return t, fmt.Errorf("empty term")
+	}
+	if i := strings.Index(s, "*"); i >= 0 && !strings.Contains(s[:i], "(") {
+		n, err := strconv.Atoi(strings.TrimSpace(s[:i]))
+		if err != nil || n <= 0 {
+			return t, fmt.Errorf("bad count in term %q", s)
+		}
+		t.count = n
+		s = strings.TrimSpace(s[i+1:])
+	} else if i := strings.Index(s, "%"); i >= 0 && !strings.Contains(s[:i], "(") {
+		pct, err := strconv.ParseFloat(strings.TrimSpace(s[:i]), 64)
+		if err != nil || pct < 0 || pct > 100 {
+			return t, fmt.Errorf("bad probability in term %q", s)
+		}
+		t.prob = pct / 100
+		s = strings.TrimSpace(s[i+1:])
+	}
+	action, arg := s, ""
+	if i := strings.Index(s, "("); i >= 0 {
+		if !strings.HasSuffix(s, ")") {
+			return t, fmt.Errorf("unclosed argument in term %q", s)
+		}
+		action, arg = s[:i], s[i+1:len(s)-1]
+	}
+	switch action {
+	case "off":
+		t.kind = actOff
+	case "error":
+		t.kind = actError
+		t.msg = arg
+		if t.msg == "" {
+			t.msg = "injected error"
+		}
+	case "delay":
+		d, err := time.ParseDuration(arg)
+		if err != nil || d < 0 {
+			return t, fmt.Errorf("bad delay duration %q", arg)
+		}
+		t.kind = actDelay
+		t.delay = d
+	case "panic":
+		t.kind = actPanic
+		t.msg = arg
+		if t.msg == "" {
+			t.msg = "injected panic"
+		}
+	default:
+		return t, fmt.Errorf("unknown action %q (want off, error, delay, or panic)", action)
+	}
+	return t, nil
+}

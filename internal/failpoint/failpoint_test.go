@@ -1,0 +1,184 @@
+package failpoint
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNoop(t *testing.T) {
+	DisableAll()
+	if err := Inject("never/enabled"); err != nil {
+		t.Fatalf("disabled failpoint injected: %v", err)
+	}
+	if got := Active(); len(got) != 0 {
+		t.Fatalf("empty registry lists %v", got)
+	}
+}
+
+func TestCountSequence(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("seq", "2*off->2*error(boom)->1*off"); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, false, true, true, false, false, false}
+	for i, wantErr := range want {
+		err := Inject("seq")
+		if (err != nil) != wantErr {
+			t.Fatalf("hit %d: err=%v, want error=%v", i, err, wantErr)
+		}
+		if err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: error %v does not wrap ErrInjected", i, err)
+		}
+	}
+	if got := Hits("seq"); got != int64(len(want)) {
+		t.Fatalf("hits = %d, want %d", got, len(want))
+	}
+}
+
+func TestTerminalTermKeepsFiring(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("sticky", "1*off->error(always)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inject("sticky"); err != nil {
+		t.Fatalf("first hit should pass: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := Inject("sticky"); err == nil {
+			t.Fatalf("terminal error term stopped firing at hit %d", i)
+		}
+	}
+}
+
+func TestProbabilityDeterministic(t *testing.T) {
+	defer DisableAll()
+	run := func() []bool {
+		if err := EnableSeeded("prob", "50%error(flaky)", 42); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Inject("prob") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hit %d differs across identically-seeded runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("50%% spec fired %d/%d times — not probabilistic", fired, len(a))
+	}
+}
+
+func TestDelayHonorsContext(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("slow", "delay(30s)"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- InjectContext(ctx, "slow") }()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("interrupted delay returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled delay did not wake")
+	}
+}
+
+func TestDelayActuallyDelays(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("tick", "delay(20ms)"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := Inject("tick"); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("delay(20ms) returned after %v", d)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	defer DisableAll()
+	if err := Enable("die", "panic(chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok {
+			t.Fatalf("panic value %v (%T), want PanicValue", r, r)
+		}
+		if pv.Name != "die" || pv.Msg != "chaos" {
+			t.Fatalf("panic value %+v", pv)
+		}
+	}()
+	Inject("die")
+	t.Fatal("panic action did not panic")
+}
+
+func TestEnableFunc(t *testing.T) {
+	defer DisableAll()
+	calls := 0
+	EnableFunc("hook", func(ctx context.Context) error {
+		calls++
+		return ctx.Err()
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := InjectContext(ctx, "hook"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("func hook did not see the site context: %v", err)
+	}
+	if calls != 1 {
+		t.Fatalf("callback ran %d times", calls)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"",
+		"explode",
+		"error(boom)->1*off", // countless term not last
+		"0*error(x)",
+		"-3*off",
+		"150%error(x)",
+		"delay(notaduration)",
+		"error(unclosed",
+	} {
+		if err := Enable("bad", spec); err == nil {
+			Disable("bad")
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	if len(Active()) != 0 {
+		t.Fatalf("failed enables left registry state: %v", Active())
+	}
+}
+
+func TestActiveListing(t *testing.T) {
+	defer DisableAll()
+	Enable("b/two", "error(x)")
+	Enable("a/one", "2*off->delay(1ms)")
+	got := Active()
+	if len(got) != 2 || got[0].Name != "a/one" || got[1].Name != "b/two" {
+		t.Fatalf("Active() = %+v", got)
+	}
+	Disable("a/one")
+	if got := Active(); len(got) != 1 || got[0].Name != "b/two" {
+		t.Fatalf("after disable: %+v", got)
+	}
+}

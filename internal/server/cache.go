@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"time"
 
 	"ocelotl/internal/core"
+	"ocelotl/internal/failpoint"
 	"ocelotl/internal/microscopic"
 	"ocelotl/internal/timeslice"
 )
@@ -140,6 +142,10 @@ type InputCache struct {
 	budget    int64
 	opts      core.Options
 	ladderMax int
+	// gate, when non-nil, bounds how many flights build at once and
+	// sheds deadline-doomed or over-queued builds (see buildGate). Set by
+	// the Server; hits and coalesced waits never touch it.
+	gate *buildGate
 
 	mu       sync.Mutex
 	lru      *list.List // of *entry; front = most recently used
@@ -269,7 +275,7 @@ func (c *InputCache) getOnce(ctx context.Context, tr *Trace, sl timeslice.Slicer
 	c.mu.Unlock()
 	c.watchWaiter(f, ctx)
 
-	f.in, f.kind, f.err = c.build(fctx, tr, sl, src, aligned)
+	f.in, f.kind, f.err = c.runBuild(fctx, ctx, tr, sl, src, aligned)
 
 	c.mu.Lock()
 	delete(c.inflight, key)
@@ -511,11 +517,41 @@ func (c *InputCache) overview(e *entry) *core.Input {
 	return e.ov
 }
 
-// testHookBuildStart, when set by a test, runs at the start of every
-// flight's build with the flight's detached context, letting tests hold a
-// build in place and observe the all-waiters-cancelled semantics
-// deterministically.
-var testHookBuildStart func(context.Context)
+// FailpointFlight names the fault-injection site at the start of every
+// singleflight build, evaluated with the flight's detached context.
+// Chaos tests inject errors, delays and panics here; deterministic tests
+// use failpoint.EnableFunc to hold a build in place and observe the
+// all-waiters-cancelled semantics.
+const FailpointFlight = "server/flight"
+
+// runBuild is build wrapped in the overload and fault armor every flight
+// gets: the build gate (bounded concurrency, FIFO queue, early shedding
+// — reqCtx contributes the deadline the doom check runs against) and a
+// panic barrier. A panicking build must fail its flight like any other
+// error — the normal unwind in getOnce still deletes the inflight entry
+// and closes f.done, so every coalesced waiter gets the 500 instead of
+// blocking forever on a flight that will never complete.
+func (c *InputCache) runBuild(ctx, reqCtx context.Context, tr *Trace, sl timeslice.Slicer, src *entry, aligned timeslice.Slicer) (in *core.Input, kind BuildKind, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.stats.Panics.Add(1)
+			in, kind = nil, ""
+			err = fmt.Errorf("window build panicked: %v", r)
+		}
+	}()
+	if c.gate != nil {
+		release, gerr := c.gate.Acquire(ctx, reqCtx)
+		if gerr != nil {
+			return nil, "", gerr
+		}
+		start := time.Now()
+		defer func() {
+			c.gate.RecordBuild(time.Since(start))
+			release()
+		}()
+	}
+	return c.build(ctx, tr, sl, src, aligned)
+}
 
 // build produces the Input for sl outside the cache lock: derived from
 // src when a neighbor overlaps, from scratch otherwise. src.in is
@@ -526,8 +562,8 @@ var testHookBuildStart func(context.Context)
 // so a flight every waiter abandoned dies mid-fill rather than running
 // its most expensive step to completion for a dead Input.
 func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, src *entry, aligned timeslice.Slicer) (*core.Input, BuildKind, error) {
-	if testHookBuildStart != nil {
-		testHookBuildStart(ctx)
+	if err := failpoint.InjectContext(ctx, FailpointFlight); err != nil {
+		return nil, "", err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
@@ -561,6 +597,17 @@ func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, 
 // noteAborted records one cancelled request in the serve stats; the
 // handlers call it whenever they map a cancellation to a client response.
 func (c *InputCache) noteAborted() { c.stats.Aborted.Add(1) }
+
+// noteShed records one load-shed request (503 + Retry-After).
+func (c *InputCache) noteShed() { c.stats.Shed.Add(1) }
+
+// notePanic records one recovered panic (handler middleware; flight
+// panics are counted at the recovery site in runBuild).
+func (c *InputCache) notePanic() { c.stats.Panics.Add(1) }
+
+// noteDegraded records one request answered with the coarse preview
+// because the fine build was slow or faulted.
+func (c *InputCache) noteDegraded() { c.stats.Degraded.Add(1) }
 
 // noteSweep records one multi-p query served through the fused sweep path
 // (/significant, /quality) and the number of p points it answered.

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"ocelotl/internal/failpoint"
 	"ocelotl/internal/mpisim"
 	"ocelotl/internal/testutil"
 	"ocelotl/internal/timeslice"
@@ -144,15 +145,16 @@ func TestSingleflightDiesWhenAllWaitersCancel(t *testing.T) {
 
 	buildEntered := make(chan struct{})
 	buildCtxDied := make(chan struct{})
-	testHookBuildStart = func(ctx context.Context) {
+	failpoint.EnableFunc(FailpointFlight, func(ctx context.Context) error {
 		close(buildEntered)
 		select {
 		case <-ctx.Done():
 			close(buildCtxDied)
 		case <-time.After(30 * time.Second):
 		}
-	}
-	defer func() { testHookBuildStart = nil }()
+		return nil
+	})
+	defer failpoint.Disable(FailpointFlight)
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	defer cancelLeader()
@@ -218,7 +220,7 @@ func TestSingleflightDiesWhenAllWaitersCancel(t *testing.T) {
 	}
 
 	// The same window still builds cleanly afterwards.
-	testHookBuildStart = nil
+	failpoint.Disable(FailpointFlight)
 	if _, kind, err := s.cache.Get(context.Background(), tr, sl); err != nil || kind != BuildScratch {
 		t.Fatalf("rebuild after abandoned flight: (%v, %v)", kind, err)
 	}
@@ -244,12 +246,13 @@ func TestLiveRequestNotPoisonedByAbandonedFlight(t *testing.T) {
 	buildEntered := make(chan struct{}, 2)
 	releaseBuild := make(chan struct{})
 	var flightCtx context.Context
-	testHookBuildStart = func(ctx context.Context) {
+	failpoint.EnableFunc(FailpointFlight, func(ctx context.Context) error {
 		flightCtx = ctx
 		buildEntered <- struct{}{}
 		<-releaseBuild // hold even past cancellation: pins the unwind window
-	}
-	defer func() { testHookBuildStart = nil }()
+		return nil
+	})
+	defer failpoint.Disable(FailpointFlight)
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	leaderDone := make(chan error, 1)
@@ -312,14 +315,15 @@ func TestSingleflightSurvivesLeaderCancel(t *testing.T) {
 
 	buildEntered := make(chan struct{})
 	releaseBuild := make(chan struct{})
-	testHookBuildStart = func(ctx context.Context) {
+	failpoint.EnableFunc(FailpointFlight, func(ctx context.Context) error {
 		close(buildEntered)
 		select {
 		case <-releaseBuild:
 		case <-ctx.Done():
 		}
-	}
-	defer func() { testHookBuildStart = nil }()
+		return nil
+	})
+	defer failpoint.Disable(FailpointFlight)
 
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	defer cancelLeader()

@@ -1,0 +1,280 @@
+// Package client is a small Go client for the ocelotld HTTP API. It
+// exists for the pieces of the protocol a bare http.Get gets wrong under
+// load: a shed request (503) carries a Retry-After the server computed
+// from its backlog, and the polite response is to wait that long — not a
+// fixed sleep, not an immediate hammer. The client retries transport
+// errors and 503s with jittered exponential backoff, honoring Retry-After
+// as a floor, and records every attempt so tests (the chaos soak, the CI
+// smoke) can assert on the full status history rather than only the final
+// answer.
+//
+// Layering: the package depends only on net/http and the server's wire
+// format (URLs, headers, JSON bodies) — never on internal/server's types —
+// so it is exactly what an external consumer could write from the README.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// DegradedHeader is the response header marking a degraded (coarse
+// preview) answer; its value names the reason.
+const DegradedHeader = "X-Ocelotl-Degraded"
+
+// Attempt records one HTTP exchange inside a Get, including the ones that
+// were retried away. Status 0 means the request never got a response
+// (transport error, in Err).
+type Attempt struct {
+	Status     int
+	RetryAfter time.Duration // parsed Retry-After, 0 if absent
+	Err        error
+}
+
+// Result is the final response of a Get plus the attempt trail that led
+// to it.
+type Result struct {
+	Status   int
+	Header   http.Header
+	Body     []byte
+	Attempts []Attempt
+}
+
+// Degraded returns the X-Ocelotl-Degraded reason, "" for a fine answer.
+func (r *Result) Degraded() string { return r.Header.Get(DegradedHeader) }
+
+// Client talks to one ocelotld base URL. The zero value is not usable;
+// call New.
+type Client struct {
+	base string
+	http *http.Client
+
+	// MaxRetries bounds the retried attempts after the first (so a Get
+	// issues at most MaxRetries+1 requests).
+	MaxRetries int
+	// BaseBackoff and MaxBackoff bound the exponential backoff schedule:
+	// attempt k waits jitter(BaseBackoff·2^k) capped at MaxBackoff, or
+	// the server's Retry-After if that is longer.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// New returns a Client with the default retry policy (4 retries, 100ms
+// base backoff capped at 5s) and a time-seeded jitter source.
+func New(baseURL string) *Client {
+	return &Client{
+		base:        strings.TrimRight(baseURL, "/"),
+		http:        &http.Client{},
+		MaxRetries:  4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Seed makes the jitter deterministic — for tests.
+func (c *Client) Seed(seed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = rand.New(rand.NewSource(seed))
+}
+
+// SetHTTPClient swaps the underlying transport (custom timeouts, test
+// transports).
+func (c *Client) SetHTTPClient(h *http.Client) { c.http = h }
+
+// retryable reports whether a response status is worth another attempt:
+// only 503 — the server's explicit "come back later". 4xx are the
+// caller's fault and 500 may be deterministic, so retrying them just
+// doubles the damage.
+func retryable(status int) bool { return status == http.StatusServiceUnavailable }
+
+// backoff computes the wait before retry attempt k (0-based), honoring
+// the server's Retry-After as a floor under the jittered exponential
+// schedule.
+func (c *Client) backoff(k int, retryAfter time.Duration) time.Duration {
+	d := c.BaseBackoff << uint(k)
+	if d > c.MaxBackoff || d <= 0 {
+		d = c.MaxBackoff
+	}
+	c.mu.Lock()
+	jitter := 0.5 + c.rng.Float64() // ∈ [0.5, 1.5)
+	c.mu.Unlock()
+	d = time.Duration(float64(d) * jitter)
+	if retryAfter > d {
+		d = retryAfter
+	}
+	if d > c.MaxBackoff {
+		d = c.MaxBackoff
+	}
+	return d
+}
+
+// Get issues GET {base}{path}?{q} with retries. It returns the final
+// response whatever its status — HTTP-level failures are data here, not
+// errors — and errs only when the context dies or every attempt failed at
+// the transport.
+func (c *Client) Get(ctx context.Context, path string, q url.Values) (*Result, error) {
+	u := c.base + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	res := &Result{}
+	for k := 0; ; k++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			res.Attempts = append(res.Attempts, Attempt{Err: err})
+			if ctx.Err() != nil {
+				return res, ctx.Err()
+			}
+			if k >= c.MaxRetries {
+				return res, fmt.Errorf("GET %s: %d attempts, last: %w", u, k+1, err)
+			}
+			if err := sleep(ctx, c.backoff(k, 0)); err != nil {
+				return res, err
+			}
+			continue
+		}
+		body, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		ra := parseRetryAfter(resp.Header.Get("Retry-After"))
+		res.Attempts = append(res.Attempts, Attempt{Status: resp.StatusCode, RetryAfter: ra})
+		res.Status, res.Header, res.Body = resp.StatusCode, resp.Header, body
+		if rerr != nil {
+			return res, fmt.Errorf("GET %s: reading body: %w", u, rerr)
+		}
+		if !retryable(resp.StatusCode) || k >= c.MaxRetries {
+			return res, nil
+		}
+		if err := sleep(ctx, c.backoff(k, ra)); err != nil {
+			return res, err
+		}
+	}
+}
+
+// LoadTrace POSTs /traces, registering path under id. A 409 (already
+// loaded) is success: the trace is there.
+func (c *Client) LoadTrace(ctx context.Context, id, path string) error {
+	body, _ := json.Marshal(struct {
+		ID   string `json:"id"`
+		Path string `json:"path"`
+	}{id, path})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/traces", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusCreated || resp.StatusCode == http.StatusConflict {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	return fmt.Errorf("POST /traces: %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+}
+
+// UnloadTrace DELETEs /traces/{id}.
+func (c *Client) UnloadTrace(ctx context.Context, id string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, c.base+"/traces/"+url.PathEscape(id), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("DELETE /traces/%s: %d: %s", id, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// Ready GETs /readyz once (no retries — readiness probes want the truth,
+// not persistence) and errs unless the server answered 200.
+func (c *Client) Ready(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("readyz: %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}
+
+// ActiveFailpoints GETs /debug/failpoints and returns the armed failpoint
+// names — the CI production gate asserts this comes back empty.
+func (c *Client) ActiveFailpoints(ctx context.Context) ([]string, error) {
+	res, err := c.Get(ctx, "/debug/failpoints", nil)
+	if err != nil {
+		return nil, err
+	}
+	if res.Status != http.StatusOK {
+		return nil, fmt.Errorf("GET /debug/failpoints: %d: %s", res.Status, strings.TrimSpace(string(res.Body)))
+	}
+	var body struct {
+		Active []struct {
+			Name string `json:"name"`
+		} `json:"active"`
+	}
+	if err := json.Unmarshal(res.Body, &body); err != nil {
+		return nil, fmt.Errorf("decoding /debug/failpoints: %w", err)
+	}
+	names := make([]string, 0, len(body.Active))
+	for _, s := range body.Active {
+		names = append(names, s.Name)
+	}
+	return names, nil
+}
+
+// parseRetryAfter handles the delta-seconds form the server sends (the
+// HTTP-date form is not worth the dependency here).
+func parseRetryAfter(s string) time.Duration {
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(s)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

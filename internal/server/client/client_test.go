@@ -1,0 +1,120 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestGetRetries503HonoringRetryAfter: the client must come back after a
+// shed, wait at least the advertised Retry-After, and surface the full
+// attempt trail.
+func TestGetRetries503HonoringRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var gaps []time.Duration
+	last := time.Now()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		now := time.Now()
+		gaps = append(gaps, now.Sub(last))
+		last = now
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "overloaded", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("fine"))
+	}))
+	defer ts.Close()
+
+	c := New(ts.URL)
+	c.Seed(1)
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 2 * time.Second
+	start := time.Now()
+	res, err := c.Get(context.Background(), "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusOK || string(res.Body) != "fine" {
+		t.Fatalf("got (%d, %q), want (200, fine)", res.Status, res.Body)
+	}
+	if len(res.Attempts) != 3 {
+		t.Fatalf("attempt trail %+v, want 2 sheds + 1 success", res.Attempts)
+	}
+	for i := 0; i < 2; i++ {
+		if res.Attempts[i].Status != http.StatusServiceUnavailable || res.Attempts[i].RetryAfter != time.Second {
+			t.Fatalf("attempt %d = %+v, want 503 with Retry-After 1s", i, res.Attempts[i])
+		}
+	}
+	// Two waits, each floored at the 1s Retry-After.
+	if elapsed := time.Since(start); elapsed < 2*time.Second {
+		t.Fatalf("client waited only %v across two Retry-After:1 sheds", elapsed)
+	}
+	for _, gap := range gaps[1:] {
+		if gap < time.Second {
+			t.Fatalf("retry arrived after %v, before the 1s Retry-After", gap)
+		}
+	}
+}
+
+// TestGetGivesUpAfterMaxRetries: a server that always sheds is reported
+// as its final 503, not an error — HTTP statuses are data.
+func TestGetGivesUpAfterMaxRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	c.Seed(2)
+	c.MaxRetries = 2
+	c.BaseBackoff = time.Millisecond
+	c.MaxBackoff = 5 * time.Millisecond
+	res, err := c.Get(context.Background(), "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusServiceUnavailable || len(res.Attempts) != 3 {
+		t.Fatalf("got status %d after %d attempts, want 503 after 3", res.Status, len(res.Attempts))
+	}
+}
+
+// TestGetDoesNotRetryClientErrors: a 400 is the caller's bug; one attempt.
+func TestGetDoesNotRetryClientErrors(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "bad slices", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	res, err := c.Get(context.Background(), "/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusBadRequest || calls.Load() != 1 {
+		t.Fatalf("400 handled as (%d, %d calls), want one un-retried attempt", res.Status, calls.Load())
+	}
+}
+
+// TestGetContextCancelsBackoff: a dying context interrupts the wait.
+func TestGetContextCancelsBackoff(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		http.Error(w, "no", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := New(ts.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Get(ctx, "/x", nil)
+	if err == nil {
+		t.Fatal("want a context error, got success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled Get still took %v", elapsed)
+	}
+}

@@ -45,6 +45,34 @@ func (s *Server) abortIfCancelled(w http.ResponseWriter, err error) bool {
 	return true
 }
 
+// shedIfOverloaded maps a build-gate refusal to 503 with a Retry-After
+// derived from the gate's backlog estimate, and counts the shed; it
+// reports whether it consumed the error.
+func (s *Server) shedIfOverloaded(w http.ResponseWriter, err error) bool {
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		return false
+	}
+	s.cache.noteShed()
+	secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	httpError(w, http.StatusServiceUnavailable, err)
+	return true
+}
+
+// writeGetError is the shared error tail of the cache-fill path:
+// cancellation → 499, shed → 503 + Retry-After, anything else (including
+// a recovered build panic) → 500.
+func (s *Server) writeGetError(w http.ResponseWriter, err error) {
+	if s.abortIfCancelled(w, err) || s.shedIfOverloaded(w, err) {
+		return
+	}
+	httpError(w, http.StatusInternalServerError, err)
+}
+
 // loadRequest is the POST /traces body.
 type loadRequest struct {
 	ID   string `json:"id"`
@@ -120,9 +148,21 @@ func windowFromQuery(tr *Trace, q url.Values, maxSlices int) (timeslice.Slicer, 
 	if err != nil {
 		return timeslice.Slicer{}, err
 	}
+	if q.Get("lo") != "" && lo < 0 {
+		return timeslice.Slicer{}, fmt.Errorf("bad lo=%v: must be non-negative", lo)
+	}
+	if q.Get("hi") != "" && hi < 0 {
+		return timeslice.Slicer{}, fmt.Errorf("bad hi=%v: must be non-negative", hi)
+	}
+	if hi <= lo {
+		return timeslice.Slicer{}, fmt.Errorf("bad window: hi=%v must be greater than lo=%v", hi, lo)
+	}
 	slices, err := intParam(q, "slices", microscopic.DefaultSlices)
 	if err != nil {
 		return timeslice.Slicer{}, err
+	}
+	if slices <= 0 {
+		return timeslice.Slicer{}, fmt.Errorf("bad slices=%d: must be positive", slices)
 	}
 	if slices > maxSlices {
 		return timeslice.Slicer{}, fmt.Errorf("slices=%d exceeds the server cap %d", slices, maxSlices)
@@ -212,14 +252,104 @@ func (s *Server) getInput(w http.ResponseWriter, r *http.Request, tr *Trace, sl 
 	start := time.Now()
 	in, kind, err := s.cache.Get(r.Context(), tr, sl)
 	if err != nil {
-		if !s.abortIfCancelled(w, err) {
-			httpError(w, http.StatusInternalServerError, err)
-		}
+		s.writeGetError(w, err)
 		return nil, false
 	}
 	w.Header().Set(buildHeader, string(kind))
 	w.Header().Set(buildLatencyHeader, strconv.FormatInt(time.Since(start).Microseconds(), 10))
 	return in, true
+}
+
+// Degrade reasons reported in the X-Ocelotl-Degraded header.
+const (
+	degradeSlowBuild = "slow-build" // fine build exceeded the degrade deadline
+	degradeFault     = "fault"      // fine build died on a retryable error
+	degradeOverload  = "overload"   // build gate shed the request but a preview was warm
+)
+
+// getInputDegraded is getInput with the degrade-to-preview fallback: if
+// the fine build exceeds the degrade deadline, dies on a retryable fault,
+// or is shed by the build gate while a cached window covers the request,
+// the covering window's coarse preview is served instead — the refine=1
+// preview machinery promoted to an automatic fallback — with the reason in
+// the X-Ocelotl-Degraded header. For slow builds the fine build is kept
+// alive in the background (same adoption pattern as refineLookup) so a
+// follow-up request for the same URL lands on a warm entry. The second
+// return value reports whether the Input is a degraded preview.
+func (s *Server) getInputDegraded(w http.ResponseWriter, r *http.Request, tr *Trace, sl timeslice.Slicer) (*core.Input, bool, bool) {
+	if s.degradeAfter <= 0 {
+		in, ok := s.getInput(w, r, tr, sl)
+		return in, false, ok
+	}
+	start := time.Now()
+	type result struct {
+		in   *core.Input
+		kind BuildKind
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		in, kind, err := s.cache.Get(r.Context(), tr, sl)
+		ch <- result{in, kind, err}
+	}()
+	timer := time.NewTimer(s.degradeAfter)
+	defer timer.Stop()
+
+	finish := func(res result) (*core.Input, bool, bool) {
+		if res.err != nil {
+			s.writeGetError(w, res.err)
+			return nil, false, false
+		}
+		w.Header().Set(buildHeader, string(res.kind))
+		w.Header().Set(buildLatencyHeader, strconv.FormatInt(time.Since(start).Microseconds(), 10))
+		return res.in, false, true
+	}
+
+	var reason string
+	var res result
+	select {
+	case res = <-ch:
+		if res.err == nil || isCancellation(res.err) {
+			return finish(res)
+		}
+		reason = degradeFault
+		var oe *OverloadError
+		if errors.As(res.err, &oe) {
+			reason = degradeOverload
+		}
+	case <-timer.C:
+		reason = degradeSlowBuild
+	}
+	pv := s.cache.Preview(tr, sl)
+	if pv == nil {
+		// Nothing cached covers the request, so no degraded answer
+		// exists: wait a slow build out, or surface the error in hand.
+		if reason == degradeSlowBuild {
+			return finish(<-ch)
+		}
+		s.writeGetError(w, res.err)
+		return nil, false, false
+	}
+	if reason == degradeSlowBuild {
+		// The waiter spawned above abandons its stake in the flight
+		// when r.Context() dies at handler return; adopt the build
+		// under the server's own deadline first so the degraded answer
+		// doesn't kill the fine build it is standing in for.
+		go func() {
+			ctx := context.Background()
+			if s.timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, s.timeout)
+				defer cancel()
+			}
+			s.cache.Get(ctx, tr, sl)
+		}()
+	}
+	s.cache.noteDegraded()
+	w.Header().Set(degradedHeader, reason)
+	w.Header().Set(buildHeader, string(BuildPreview))
+	w.Header().Set(buildLatencyHeader, strconv.FormatInt(time.Since(start).Microseconds(), 10))
+	return pv, true, true
 }
 
 // inputFor is resolveWindow + getInput — the shared serve path of every
@@ -330,9 +460,13 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if in == nil {
-		if in, ok = s.getInput(w, r, tr, sl); !ok {
+		var degraded bool
+		if in, degraded, ok = s.getInputDegraded(w, r, tr, sl); !ok {
 			return
 		}
+		// A degraded body is the same preview body refine=1 would
+		// serve — byte-identical across the two paths.
+		preview = preview || degraded
 	}
 	pt, err := s.solve(r.Context(), in, p)
 	if err != nil {

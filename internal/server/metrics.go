@@ -26,6 +26,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ocelotl_cache_evictions_total", "Entries evicted by the byte budget.", "counter", snap.Evictions},
 		{"ocelotl_cache_aborted_total", "Requests abandoned on context cancellation.", "counter", snap.Aborted},
 		{"ocelotl_cache_rejected_total", "Windows rejected by the admission guard before building (413).", "counter", snap.Rejected},
+		{"ocelotl_shed_total", "Requests shed by the build gate (503 + Retry-After).", "counter", snap.Shed},
+		{"ocelotl_degraded_total", "Requests answered with the coarse preview after a slow or faulted fine build.", "counter", snap.Degraded},
+		{"ocelotl_panics_total", "Panics recovered on the serve path (flight builds and handlers).", "counter", snap.Panics},
 		{"ocelotl_zoom_derived_total", "Resolution changes served by derivation from the warm ladder level.", "counter", snap.ZoomDerived},
 		{"ocelotl_zoom_scratch_total", "Resolution changes that fell through to the event index.", "counter", snap.ZoomScratch},
 		{"ocelotl_previews_total", "Refine requests answered with a coarse covering preview.", "counter", snap.Previews},

@@ -64,9 +64,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
 	"time"
 
 	"ocelotl/internal/core"
+	"ocelotl/internal/failpoint"
 )
 
 // Config tunes a Server.
@@ -95,6 +99,25 @@ type Config struct {
 	// budget applies, so an unbounded |T| would let one request exhaust
 	// the daemon; over-limit requests are rejected with 400.
 	MaxSlices int
+	// MaxConcurrentBuilds bounds how many window builds run at once
+	// (default GOMAXPROCS; negative disables the gate). Builds beyond
+	// the bound queue FIFO; see MaxQueuedBuilds.
+	MaxConcurrentBuilds int
+	// MaxQueuedBuilds caps the build gate's FIFO wait queue (default
+	// 4× the build bound). A request that finds the queue full — or
+	// whose deadline is shorter than the estimated wait to the front —
+	// is shed immediately with 503 + Retry-After instead of queueing
+	// past its budget.
+	MaxQueuedBuilds int
+	// DegradeAfter is the degrade deadline of /aggregate: when the fine
+	// build of a window takes longer than this and a cached window
+	// covers the request, the response degrades to the covering window's
+	// memoized coarse preview (X-Ocelotl-Degraded: slow-build) while the
+	// fine build completes in the background. Also applies when the fine
+	// build dies on a retryable fault or is shed by the gate — a warm
+	// preview beats a 500/503. Default DefaultDegradeAfter; negative
+	// disables degradation.
+	DegradeAfter time.Duration
 	// Logger receives the structured per-request log (default
 	// slog.Default()).
 	Logger *slog.Logger
@@ -108,14 +131,29 @@ const DefaultCacheBytes = 256 << 20
 // triangular matrices (O(|H(S)|·|T|²)) bounded.
 const DefaultMaxSlices = 512
 
+// DefaultDegradeAfter is the degrade deadline when Config.DegradeAfter
+// is 0: long enough that warm derivations and small scratch builds
+// always answer fine, short enough that an analyst staring at a stalled
+// zoom gets the coarse preview well before an interactive pause turns
+// into an outage.
+const DefaultDegradeAfter = 2 * time.Second
+
+// defaultQueueFactor sizes the build gate's wait queue from its
+// concurrency bound when Config.MaxQueuedBuilds is 0.
+const defaultQueueFactor = 4
+
 // Server is the long-lived aggregation service: a registry of loaded
 // traces and the window-keyed Input cache serving every query endpoint.
 type Server struct {
-	reg       *Registry
-	cache     *InputCache
-	log       *slog.Logger
-	timeout   time.Duration
-	maxSlices int
+	reg          *Registry
+	cache        *InputCache
+	log          *slog.Logger
+	timeout      time.Duration
+	maxSlices    int
+	degradeAfter time.Duration
+	// draining flips /readyz to 503 during shutdown so the fleet's
+	// balancer stops routing here while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // New builds a Server from cfg.
@@ -136,14 +174,40 @@ func New(cfg Config) *Server {
 	if maxSlices <= 0 {
 		maxSlices = DefaultMaxSlices
 	}
+	degradeAfter := cfg.DegradeAfter
+	if degradeAfter == 0 {
+		degradeAfter = DefaultDegradeAfter
+	}
+	cache := NewInputCache(budget, cfg.Core, cfg.LadderLevels)
+	if cfg.MaxConcurrentBuilds >= 0 {
+		capacity := cfg.MaxConcurrentBuilds
+		if capacity == 0 {
+			capacity = runtime.GOMAXPROCS(0)
+		}
+		maxQueue := cfg.MaxQueuedBuilds
+		if maxQueue == 0 {
+			maxQueue = defaultQueueFactor * capacity
+		}
+		if maxQueue < 0 {
+			maxQueue = 0
+		}
+		cache.gate = newBuildGate(capacity, maxQueue)
+	}
 	return &Server{
-		reg:       NewRegistry(),
-		cache:     NewInputCache(budget, cfg.Core, cfg.LadderLevels),
-		log:       logger,
-		timeout:   timeout,
-		maxSlices: maxSlices,
+		reg:          NewRegistry(),
+		cache:        cache,
+		log:          logger,
+		timeout:      timeout,
+		maxSlices:    maxSlices,
+		degradeAfter: degradeAfter,
 	}
 }
+
+// SetDraining flips the /readyz readiness signal: a draining server
+// still answers every endpoint (in-flight and straggler requests
+// complete normally) but tells balancers to stop routing new work to it.
+// The daemon sets it on SIGTERM before starting the HTTP drain.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // Registry exposes the trace registry (preloading at daemon startup).
 func (s *Server) Registry() *Registry { return s.reg }
@@ -164,15 +228,57 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces/{id}/quality", s.handleQuality)
 	mux.HandleFunc("GET /traces/{id}/render", s.handleRender)
 	mux.HandleFunc("GET /debug/cachestats", s.handleCacheStats)
+	mux.HandleFunc("GET /debug/failpoints", s.handleFailpoints)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))
 	})
-	var h http.Handler = mux
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+	h := s.recoverPanics(mux)
 	if s.timeout > 0 {
 		h = http.TimeoutHandler(h, s.timeout, "request timed out\n")
 	}
 	return s.logRequests(h)
+}
+
+// recoverPanics is the last-resort panic barrier of the serve path: a
+// handler that panics (outside the flight-level recovery in runBuild)
+// answers 500 instead of tearing down the connection, and the panic is
+// counted and logged with its stack. http.ErrAbortHandler passes through
+// — it is the standard way to abort a response, not a fault.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.cache.notePanic()
+			s.log.Error("handler panic", "path", r.URL.Path, "panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
+			// Best effort: if the handler already wrote, this is a no-op.
+			httpErrorf(w, http.StatusInternalServerError, "internal panic: %v", rec)
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleFailpoints lists the armed fault-injection points. In production
+// the list must be empty — the serving smoke gates on it — so the
+// endpoint doubles as the release check that no chaos configuration
+// leaked into a real deployment.
+func (s *Server) handleFailpoints(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Active []failpoint.Status `json:"active"`
+	}{Active: failpoint.Active()})
 }
 
 // statusWriter captures the status code for the request log.
@@ -234,6 +340,13 @@ const (
 	// the fine build is running, re-request to get it), or "none" (nothing
 	// covered the request; the body was built synchronously and is final).
 	refineHeader = "X-Ocelotl-Refine"
+	// degradedHeader marks a response served from the coarse covering
+	// preview because the fine build could not answer in time: the value
+	// names the reason ("slow-build", "fault", "overload"). The body is
+	// byte-identical to what the refine path would serve for the same
+	// window; re-requesting (optionally with refine=1) returns the fine
+	// answer once the background build lands.
+	degradedHeader = "X-Ocelotl-Degraded"
 )
 
 // writeJSON serializes v with a trailing newline.

@@ -21,6 +21,14 @@ import "sync/atomic"
 // index — the ratio is the pyramid's zoom hit rate. Previews counts
 // refine requests answered immediately with a coarse covering window
 // while the fine build proceeded in the background.
+//
+// The overload counters: Shed counts requests refused by the build gate
+// (503 + Retry-After — the queue was full or the request's deadline was
+// shorter than the estimated wait); Degraded counts requests answered
+// with the coarse covering preview because the fine build exceeded the
+// degrade deadline or died on a retryable fault; Panics counts panics
+// recovered anywhere on the serve path (a panicking flight fails all its
+// waiters with 500 and increments this once).
 type Stats struct {
 	Hits         atomic.Int64
 	Misses       atomic.Int64
@@ -30,6 +38,9 @@ type Stats struct {
 	Evictions    atomic.Int64
 	Aborted      atomic.Int64
 	Rejected     atomic.Int64
+	Shed         atomic.Int64
+	Degraded     atomic.Int64
+	Panics       atomic.Int64
 	ZoomDerived  atomic.Int64
 	ZoomScratch  atomic.Int64
 	Previews     atomic.Int64
@@ -47,6 +58,9 @@ type StatsSnapshot struct {
 	Evictions    int64 `json:"evictions"`
 	Aborted      int64 `json:"aborted"`
 	Rejected     int64 `json:"rejected"`
+	Shed         int64 `json:"shed"`
+	Degraded     int64 `json:"degraded"`
+	Panics       int64 `json:"panics"`
 	ZoomDerived  int64 `json:"zoom_derived"`
 	ZoomScratch  int64 `json:"zoom_scratch"`
 	Previews     int64 `json:"previews"`
@@ -67,6 +81,9 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Evictions:    s.Evictions.Load(),
 		Aborted:      s.Aborted.Load(),
 		Rejected:     s.Rejected.Load(),
+		Shed:         s.Shed.Load(),
+		Degraded:     s.Degraded.Load(),
+		Panics:       s.Panics.Load(),
 		ZoomDerived:  s.ZoomDerived.Load(),
 		ZoomScratch:  s.ZoomScratch.Load(),
 		Previews:     s.Previews.Load(),

@@ -93,28 +93,55 @@ func (bw *binaryWriter) WriteEvent(e trace.Event) error {
 
 func (bw *binaryWriter) Close() error { return bw.w.Flush() }
 
+// countReader tracks how many bytes of the stream have been consumed, so
+// decode errors can say where the corruption sits. It forwards ReadByte
+// (binary.ReadUvarint needs an io.ByteReader) without losing the count.
+type countReader struct {
+	r *bufio.Reader
+	n int64
+}
+
+func (cr *countReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+func (cr *countReader) ReadByte() (byte, error) {
+	b, err := cr.r.ReadByte()
+	if err == nil {
+		cr.n++
+	}
+	return b, err
+}
+
 type binaryReader struct {
-	r          *bufio.Reader
+	r          *countReader
 	resources  []string
 	states     []string
 	start, end float64
 }
 
+// corrupt wraps a decode failure with the reader's current byte offset.
+func (br *binaryReader) corrupt(format string, args ...any) error {
+	return &CorruptError{Format: FormatBinary, Offset: br.r.n, Line: 0, Err: fmt.Errorf(format, args...)}
+}
+
 func newBinaryReader(r *bufio.Reader) (*binaryReader, error) {
-	br := &binaryReader{r: r}
+	br := &binaryReader{r: &countReader{r: r}}
 	var magic [4]byte
-	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return nil, fmt.Errorf("traceio: binary: %w", err)
+	if _, err := io.ReadFull(br.r, magic[:]); err != nil {
+		return nil, br.corrupt("%w", err)
 	}
 	if string(magic[:]) != binaryMagic {
-		return nil, fmt.Errorf("traceio: binary: bad magic %q", magic)
+		return nil, br.corrupt("bad magic %q", magic)
 	}
 	version, err := br.readU32()
 	if err != nil {
 		return nil, err
 	}
 	if version != binaryVersion {
-		return nil, fmt.Errorf("traceio: binary: unsupported version %d", version)
+		return nil, br.corrupt("unsupported version %d", version)
 	}
 	if br.start, err = br.readF64(); err != nil {
 		return nil, err
@@ -134,7 +161,7 @@ func newBinaryReader(r *bufio.Reader) (*binaryReader, error) {
 func (br *binaryReader) readU32() (uint32, error) {
 	var b [4]byte
 	if _, err := io.ReadFull(br.r, b[:]); err != nil {
-		return 0, fmt.Errorf("traceio: binary header: %w", err)
+		return 0, br.corrupt("header: %w", err)
 	}
 	return binary.LittleEndian.Uint32(b[:]), nil
 }
@@ -142,7 +169,7 @@ func (br *binaryReader) readU32() (uint32, error) {
 func (br *binaryReader) readF64() (float64, error) {
 	var b [8]byte
 	if _, err := io.ReadFull(br.r, b[:]); err != nil {
-		return 0, fmt.Errorf("traceio: binary header: %w", err)
+		return 0, br.corrupt("header: %w", err)
 	}
 	return math.Float64frombits(binary.LittleEndian.Uint64(b[:])), nil
 }
@@ -153,18 +180,18 @@ func (br *binaryReader) readStrings(what string) ([]string, error) {
 		return nil, err
 	}
 	if n > 100_000_000 {
-		return nil, fmt.Errorf("traceio: binary: implausible %s count %d", what, n)
+		return nil, br.corrupt("implausible %s count %d", what, n)
 	}
 	out := make([]string, n)
 	var lb [2]byte
 	for i := range out {
 		if _, err := io.ReadFull(br.r, lb[:]); err != nil {
-			return nil, fmt.Errorf("traceio: binary %s table: %w", what, err)
+			return nil, br.corrupt("%s table: %w", what, err)
 		}
 		l := binary.LittleEndian.Uint16(lb[:])
 		buf := make([]byte, l)
 		if _, err := io.ReadFull(br.r, buf); err != nil {
-			return nil, fmt.Errorf("traceio: binary %s table: %w", what, err)
+			return nil, br.corrupt("%s table: %w", what, err)
 		}
 		out[i] = string(buf)
 	}
@@ -177,26 +204,27 @@ func (br *binaryReader) Window() (float64, float64) { return br.start, br.end }
 func (br *binaryReader) Close() error               { return nil }
 
 func (br *binaryReader) Next(ev *trace.Event) error {
+	recStart := br.r.n
 	res, err := binary.ReadUvarint(br.r)
 	if err != nil {
 		if err == io.EOF {
 			return io.EOF
 		}
-		return fmt.Errorf("traceio: binary event: %w", err)
+		return br.corrupt("event: %w", err)
 	}
 	st, err := binary.ReadUvarint(br.r)
 	if err != nil {
-		return truncErr(err)
+		return br.truncErr(recStart, err)
 	}
 	var b [16]byte
 	if _, err := io.ReadFull(br.r, b[:]); err != nil {
-		return truncErr(err)
+		return br.truncErr(recStart, err)
 	}
 	if res >= uint64(len(br.resources)) {
-		return fmt.Errorf("traceio: binary event references resource %d, table has %d", res, len(br.resources))
+		return br.corrupt("event at byte %d references resource %d, table has %d", recStart, res, len(br.resources))
 	}
 	if st >= uint64(len(br.states)) {
-		return fmt.Errorf("traceio: binary event references state %d, table has %d", st, len(br.states))
+		return br.corrupt("event at byte %d references state %d, table has %d", recStart, st, len(br.states))
 	}
 	ev.Resource = trace.ResourceID(res)
 	ev.State = trace.StateID(st)
@@ -205,11 +233,12 @@ func (br *binaryReader) Next(ev *trace.Event) error {
 	return nil
 }
 
-// truncErr converts an EOF mid-record into a corruption error (a clean EOF
-// is only legal at a record boundary).
-func truncErr(err error) error {
+// truncErr converts an EOF mid-record into a corruption error naming the
+// record's starting offset (a clean EOF is only legal at a record
+// boundary).
+func (br *binaryReader) truncErr(recStart int64, err error) error {
 	if err == io.EOF || err == io.ErrUnexpectedEOF {
-		return fmt.Errorf("traceio: binary: truncated event record")
+		return br.corrupt("truncated event record starting at byte %d", recStart)
 	}
-	return fmt.Errorf("traceio: binary event: %w", err)
+	return br.corrupt("event: %w", err)
 }

@@ -140,13 +140,16 @@ func (cr *csvReader) readHeader() error {
 	}
 	// A header-only trace (no events) is legal.
 	if len(cr.resources) == 0 || len(cr.states) == 0 {
-		return fmt.Errorf("traceio: csv: missing resource/state declarations")
+		return cr.errf("missing resource/state declarations")
 	}
 	return nil
 }
 
+// errf wraps a decode failure with the reader's current 1-based line
+// number as a CorruptError, so callers can recover the position with
+// errors.As.
 func (cr *csvReader) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("traceio: csv line %d: %s", cr.line, fmt.Sprintf(format, args...))
+	return &CorruptError{Format: FormatCSV, Offset: -1, Line: cr.line, Err: fmt.Errorf(format, args...)}
 }
 
 func (cr *csvReader) Resources() []string        { return cr.resources }

@@ -1,0 +1,39 @@
+package traceio
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CorruptError is the structured decode error both readers return for
+// truncated or garbage input: it carries where in the stream decoding
+// failed — a byte offset for the binary format, a 1-based line number for
+// CSV — so a bad trace file can be bisected without re-running the
+// decoder under a debugger. Use errors.As to recover the position from
+// any error returned by a Reader.
+type CorruptError struct {
+	Format Format
+	Offset int64 // byte offset into the (decompressed) stream; -1 if unknown
+	Line   int   // 1-based line number (CSV); 0 if unknown
+	Err    error // underlying cause
+}
+
+func (e *CorruptError) Error() string {
+	switch {
+	case e.Line > 0:
+		return fmt.Sprintf("traceio: %s line %d: %v", e.Format, e.Line, e.Err)
+	case e.Offset >= 0:
+		return fmt.Sprintf("traceio: %s: %v (at byte %d)", e.Format, e.Err, e.Offset)
+	default:
+		return fmt.Sprintf("traceio: %s: %v", e.Format, e.Err)
+	}
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorrupt reports whether err marks undecodable trace data (as opposed
+// to an I/O failure opening or reading the file).
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}

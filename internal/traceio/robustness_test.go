@@ -2,8 +2,11 @@ package traceio
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"ocelotl/internal/trace"
@@ -99,6 +102,84 @@ func TestRandomGarbageNeverPanics(t *testing.T) {
 			}()
 			_ = drain(data)
 		}()
+	}
+}
+
+// TestTruncatedBinaryReportsOffset pins the structured error contract: a
+// binary stream cut mid-record fails with a CorruptError whose byte
+// offset lands inside the severed record, and the message names the byte
+// position — IsCorrupt distinguishes it from an I/O failure.
+func TestTruncatedBinaryReportsOffset(t *testing.T) {
+	valid := buildValid(t, FormatBinary)
+	// Each event record of this trace is 18 bytes (two 1-byte varints +
+	// two f64s); chopping 5 bytes severs the final record.
+	data := valid[:len(valid)-5]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev trace.Event
+	var lastErr error
+	for {
+		if err := r.Next(&ev); err != nil {
+			if err == io.EOF {
+				t.Fatal("truncated stream drained to a clean EOF")
+			}
+			lastErr = err
+			break
+		}
+	}
+	var ce *CorruptError
+	if !errors.As(lastErr, &ce) {
+		t.Fatalf("truncation error %v (%T) is not a CorruptError", lastErr, lastErr)
+	}
+	if !IsCorrupt(lastErr) {
+		t.Fatalf("IsCorrupt(%v) = false", lastErr)
+	}
+	if ce.Format != FormatBinary {
+		t.Fatalf("CorruptError.Format = %v, want binary", ce.Format)
+	}
+	if ce.Offset < int64(len(data)-18) || ce.Offset > int64(len(data)) {
+		t.Fatalf("CorruptError.Offset = %d, want within the severed record [%d,%d]", ce.Offset, len(data)-18, len(data))
+	}
+	if !strings.Contains(lastErr.Error(), "byte") {
+		t.Fatalf("error %q does not name a byte position", lastErr)
+	}
+	if ce.Unwrap() == nil {
+		t.Fatal("CorruptError does not unwrap to its cause")
+	}
+}
+
+// TestGarbageCSVLineReportsLineNumber splices an unparseable event line
+// into a valid CSV trace at a known position and checks the CorruptError
+// carries exactly that 1-based line number.
+func TestGarbageCSVLineReportsLineNumber(t *testing.T) {
+	valid := buildValid(t, FormatCSV)
+	lines := strings.Split(string(valid), "\n")
+	const at = 10 // 0-based split index → 1-based line number at+1
+	lines = append(lines[:at:at], append([]string{"event,not-a-number,0,0,1"}, lines[at:]...)...)
+	err := drain([]byte(strings.Join(lines, "\n")))
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("garbage-line error %v (%T) is not a CorruptError", err, err)
+	}
+	if ce.Format != FormatCSV {
+		t.Fatalf("CorruptError.Format = %v, want csv", ce.Format)
+	}
+	if ce.Line != at+1 {
+		t.Fatalf("CorruptError.Line = %d, want %d", ce.Line, at+1)
+	}
+	if want := fmt.Sprintf("line %d", at+1); !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not contain %q", err, want)
+	}
+}
+
+// TestCSVMissingHeaderIsCorrupt: a stream that sniffs as CSV but never
+// declares resources/states fails as corruption, not success.
+func TestCSVMissingHeaderIsCorrupt(t *testing.T) {
+	err := drain([]byte("# ocelotl-trace v1\nwindow,0,10\n"))
+	if !IsCorrupt(err) {
+		t.Fatalf("header-less CSV returned %v, want a CorruptError", err)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"os"
 	"strings"
 
+	"ocelotl/internal/failpoint"
 	"ocelotl/internal/trace"
 )
 
@@ -202,9 +203,16 @@ func (fr *fileReader) Close() error {
 	return err
 }
 
+// FailpointOpen names the fault-injection site at the head of every
+// trace-file open (chaos tests for the load path).
+const FailpointOpen = "traceio/open"
+
 // OpenFile opens a trace file for streaming reads, sniffing gzip
 // compression and the format from the content (not the name).
 func OpenFile(path string) (Reader, error) {
+	if err := failpoint.Inject(FailpointOpen); err != nil {
+		return nil, fmt.Errorf("traceio: %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
