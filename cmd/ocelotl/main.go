@@ -65,8 +65,14 @@ func main() {
 		to        = flag.Float64("to", 1, "zoom: window end as a fraction of the trace (0,1]")
 		panSeq    = flag.String("pan", "", "replay comma-separated slice shifts incrementally after -zoom steps (e.g. 1,1,-3)")
 		zoomSeq   = flag.String("zoom", "", "replay comma-separated lo:hi slice-range zooms incrementally (e.g. 10:20,2:7)")
+		indexName = flag.String("index", "auto", "event index backend: auto (RAM below threshold, disk above), ram, disk")
 	)
 	flag.Parse()
+
+	indexMode, err := microscopic.ParseIndexMode(*indexName)
+	if err != nil {
+		fatal(err)
+	}
 
 	// SIGINT/SIGTERM cancel the pipeline's context; the engine's ctx-aware
 	// entry points abandon the solve / significant-p dichotomy at their
@@ -75,10 +81,12 @@ func main() {
 	defer stop()
 
 	replaying := *panSeq != "" || *zoomSeq != ""
-	m, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to, replaying)
+	m, cleanup, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to, replaying, indexMode)
 	if err != nil {
 		fatal(err)
 	}
+	onFatal = cleanup
+	defer cleanup()
 	in := core.NewInput(m, core.Options{Normalize: *normalize})
 	if replaying {
 		if in, err = replayWindow(os.Stderr, in, *zoomSeq, *panSeq); err != nil {
@@ -139,20 +147,39 @@ func main() {
 	}
 }
 
-// loadModel builds the microscopic model; with indexed set it goes through
-// a microscopic.Reslicer so the model supports incremental -pan/-zoom
-// replay (at the cost of keeping the event index in memory).
-func loadModel(tracePath, caseName string, scale float64, seed int64, slices int, from, to float64, indexed bool) (*microscopic.Model, error) {
+// loadModel builds the microscopic model; with indexed set (or an
+// explicit -index choice) it goes through a microscopic.Reslicer so the
+// model supports incremental -pan/-zoom replay. The returned cleanup
+// releases the event index — a disk-backed one holds an open temporary
+// store file until then.
+func loadModel(tracePath, caseName string, scale float64, seed int64, slices int, from, to float64, indexed bool, mode microscopic.IndexMode) (*microscopic.Model, func(), error) {
+	noop := func() {}
 	if from < 0 || to > 1 || from >= to {
-		return nil, fmt.Errorf("bad zoom window [%g,%g): need 0 ≤ from < to ≤ 1", from, to)
+		return nil, noop, fmt.Errorf("bad zoom window [%g,%g): need 0 ≤ from < to ≤ 1", from, to)
+	}
+	// An explicit -index choice routes through the Reslicer even without
+	// replay, so the backend can be exercised (and disk forced) on a
+	// plain one-shot run.
+	useIndex := indexed || mode != microscopic.IndexAuto
+	build := func(src microscopic.EventSource, opt microscopic.Options) (*microscopic.Model, func(), error) {
+		rs, err := microscopic.NewReslicerIndexed(src, microscopic.IndexOptions{Mode: mode})
+		if err != nil {
+			return nil, noop, err
+		}
+		m, err := rs.Build(opt)
+		if err != nil {
+			rs.Close()
+			return nil, noop, err
+		}
+		return m, func() { rs.Close() }, nil
 	}
 	switch {
 	case tracePath != "" && caseName != "":
-		return nil, fmt.Errorf("use either -trace or -case, not both")
+		return nil, noop, fmt.Errorf("use either -trace or -case, not both")
 	case tracePath != "":
 		r, err := traceio.OpenFile(tracePath)
 		if err != nil {
-			return nil, err
+			return nil, noop, err
 		}
 		defer r.Close()
 		opt := microscopic.Options{Slices: slices}
@@ -160,34 +187,28 @@ func loadModel(tracePath, caseName string, scale float64, seed int64, slices int
 			ws, we := r.Window()
 			opt.Start, opt.End = ws+from*(we-ws), ws+to*(we-ws)
 		}
-		if indexed {
-			rs, err := microscopic.NewReslicerStream(r)
-			if err != nil {
-				return nil, err
-			}
-			return rs.Build(opt)
+		if useIndex {
+			return build(r, opt)
 		}
-		return microscopic.BuildStream(r, opt)
+		m, err := microscopic.BuildStream(r, opt)
+		return m, noop, err
 	case caseName != "":
 		res, err := mpisim.GenerateCase(grid5000.Case(caseName), mpisim.Config{Seed: seed, Scale: scale})
 		if err != nil {
-			return nil, err
+			return nil, noop, err
 		}
 		opt := microscopic.Options{Slices: slices}
 		if from != 0 || to != 1 {
 			ws, we := res.Trace.Window()
 			opt.Start, opt.End = ws+from*(we-ws), ws+to*(we-ws)
 		}
-		if indexed {
-			rs, err := microscopic.NewReslicer(res.Trace)
-			if err != nil {
-				return nil, err
-			}
-			return rs.Build(opt)
+		if useIndex {
+			return build(microscopic.TraceSource(res.Trace), opt)
 		}
-		return microscopic.Build(res.Trace, opt)
+		m, err := microscopic.Build(res.Trace, opt)
+		return m, noop, err
 	default:
-		return nil, fmt.Errorf("need -trace FILE or -case A|B|C|D (see -help)")
+		return nil, noop, fmt.Errorf("need -trace FILE or -case A|B|C|D (see -help)")
 	}
 }
 
@@ -254,7 +275,13 @@ func runMode(ctx context.Context, m *microscopic.Model, in *core.Input, mode str
 	}
 }
 
+// onFatal runs before os.Exit so a disk-backed index's temporary store
+// file is removed even on error exits (deferred cleanups don't run past
+// os.Exit).
+var onFatal = func() {}
+
 func fatal(err error) {
+	onFatal()
 	fmt.Fprintln(os.Stderr, "ocelotl:", err)
 	os.Exit(1)
 }

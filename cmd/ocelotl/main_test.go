@@ -9,12 +9,22 @@ import (
 
 	"ocelotl/internal/core"
 	"ocelotl/internal/grid5000"
+	"ocelotl/internal/microscopic"
 	"ocelotl/internal/mpisim"
 	"ocelotl/internal/traceio"
 )
 
+// testLoadModel adapts loadModel to the pre-index test call shape: auto
+// mode, cleanup registered on the test.
+func testLoadModel(t *testing.T, tracePath, caseName string, scale float64, seed int64, slices int, from, to float64, indexed bool) (*microscopic.Model, error) {
+	t.Helper()
+	m, cleanup, err := loadModel(tracePath, caseName, scale, seed, slices, from, to, indexed, microscopic.IndexAuto)
+	t.Cleanup(cleanup)
+	return m, err
+}
+
 func TestLoadModelFromCase(t *testing.T) {
-	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, false)
+	m, err := testLoadModel(t, "", "A", 0.002, 1, 10, 0, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +42,7 @@ func TestLoadModelFromFile(t *testing.T) {
 	if err := traceio.WriteFile(path, res.Trace); err != nil {
 		t.Fatal(err)
 	}
-	m, err := loadModel(path, "", 0, 0, 15, 0, 1, false)
+	m, err := testLoadModel(t, path, "", 0, 0, 15, 0, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,16 +52,16 @@ func TestLoadModelFromFile(t *testing.T) {
 }
 
 func TestLoadModelErrors(t *testing.T) {
-	if _, err := loadModel("", "", 0, 0, 10, 0, 1, false); err == nil {
+	if _, err := testLoadModel(t, "", "", 0, 0, 10, 0, 1, false); err == nil {
 		t.Error("no source accepted")
 	}
-	if _, err := loadModel("x.bin", "A", 0, 0, 10, 0, 1, false); err == nil {
+	if _, err := testLoadModel(t, "x.bin", "A", 0, 0, 10, 0, 1, false); err == nil {
 		t.Error("both sources accepted")
 	}
-	if _, err := loadModel(filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 10, 0, 1, false); err == nil {
+	if _, err := testLoadModel(t, filepath.Join(t.TempDir(), "missing.bin"), "", 0, 0, 10, 0, 1, false); err == nil {
 		t.Error("missing file accepted")
 	}
-	if _, err := loadModel("", "Q", 0.01, 0, 10, 0, 1, false); err == nil {
+	if _, err := testLoadModel(t, "", "Q", 0.01, 0, 10, 0, 1, false); err == nil {
 		t.Error("unknown case accepted")
 	}
 }
@@ -59,7 +69,7 @@ func TestLoadModelErrors(t *testing.T) {
 func TestLoadModelZoom(t *testing.T) {
 	// Zooming into the case-A computation phase: the model window must
 	// cover exactly the requested fraction.
-	m, err := loadModel("", "A", 0.005, 1, 10, 0.25, 0.75, false)
+	m, err := testLoadModel(t, "", "A", 0.005, 1, 10, 0.25, 0.75, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +77,14 @@ func TestLoadModelZoom(t *testing.T) {
 		t.Errorf("zoom window = [%g,%g), want ≈[2.375,7.125)", m.Slicer.Start, m.Slicer.End)
 	}
 	for _, bad := range [][2]float64{{-0.1, 1}, {0, 1.1}, {0.6, 0.4}, {0.5, 0.5}} {
-		if _, err := loadModel("", "A", 0.005, 1, 10, bad[0], bad[1], false); err == nil {
+		if _, err := testLoadModel(t, "", "A", 0.005, 1, 10, bad[0], bad[1], false); err == nil {
 			t.Errorf("zoom window %v accepted", bad)
 		}
 	}
 }
 
 func TestRunModeAll(t *testing.T) {
-	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, false)
+	m, err := testLoadModel(t, "", "A", 0.002, 1, 10, 0, 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +105,7 @@ func TestRunModeAll(t *testing.T) {
 }
 
 func TestLoadModelIndexed(t *testing.T) {
-	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, true)
+	m, err := testLoadModel(t, "", "A", 0.002, 1, 10, 0, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +121,7 @@ func TestLoadModelIndexed(t *testing.T) {
 	if err := traceio.WriteFile(path, res.Trace); err != nil {
 		t.Fatal(err)
 	}
-	m, err = loadModel(path, "", 0, 0, 12, 0, 1, true)
+	m, err = testLoadModel(t, path, "", 0, 0, 12, 0, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +131,7 @@ func TestLoadModelIndexed(t *testing.T) {
 }
 
 func TestReplayWindow(t *testing.T) {
-	m, err := loadModel("", "A", 0.002, 1, 10, 0, 1, true)
+	m, err := testLoadModel(t, "", "A", 0.002, 1, 10, 0, 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +152,11 @@ func TestReplayWindow(t *testing.T) {
 		t.Errorf("pan step did not report slice reuse:\n%s", log.String())
 	}
 	// The replayed input answers queries like a fresh one on its window.
-	fresh := core.NewInput(m.Reslicer().BuildAt(out.Model.Slicer), core.Options{})
+	fm, err := m.Reslicer().BuildAt(out.Model.Slicer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := core.NewInput(fm, core.Options{})
 	a, err := out.NewSolver().Run(0.5)
 	if err != nil {
 		t.Fatal(err)
@@ -161,5 +175,43 @@ func TestReplayWindow(t *testing.T) {
 		if _, err := replayWindow(&log, in, bad.zoom, bad.pan); err == nil {
 			t.Errorf("replay accepted zoom=%q pan=%q", bad.zoom, bad.pan)
 		}
+	}
+}
+
+// TestLoadModelDiskIndex forces -index=disk through both load paths and
+// checks the disk backend answers the replay engine identically to RAM.
+func TestLoadModelDiskIndex(t *testing.T) {
+	ramM, ramClean, err := loadModel("", "A", 0.002, 1, 10, 0, 1, true, microscopic.IndexRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ramClean()
+	diskM, diskClean, err := loadModel("", "A", 0.002, 1, 10, 0, 1, true, microscopic.IndexDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer diskClean()
+	if kind := diskM.Reslicer().IndexKind(); kind != "disk" {
+		t.Fatalf("forced disk index reports kind %q", kind)
+	}
+	var ramLog, diskLog bytes.Buffer
+	ramIn, err := replayWindow(&ramLog, core.NewInput(ramM, core.Options{}), "2:7", "1,-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskIn, err := replayWindow(&diskLog, core.NewInput(diskM, core.Options{}), "2:7", "1,-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ramIn.NewSolver().Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := diskIn.NewSolver().Run(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Signature() != b.Signature() {
+		t.Error("disk-indexed replay disagrees with RAM-indexed replay")
 	}
 }

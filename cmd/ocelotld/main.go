@@ -28,6 +28,17 @@
 // Windows whose single Input would exceed the cache budget are rejected
 // with 413 before any build.
 //
+// -index selects the event-index backend for loaded traces: auto (the
+// default — RAM below ~4M events, the chunked on-disk eventstore above),
+// ram, or disk; -index-dir places the store files (an SSD path for big
+// deployments). /traces/{id} reports each trace's backend in its "index"
+// field, and /debug/cachestats adds index_bytes (fixed index residency,
+// distinct from cached Input bytes), index_open_chunk_bytes (decoded-
+// chunk cache), and the index_chunks_read / index_chunk_hits /
+// index_bytes_read locality counters — also exported as ocelotl_index_*
+// at /metrics. Disk-backed store files are load-time temporaries,
+// removed when the trace unloads or the daemon shuts down.
+//
 // Overload control: at most -max-builds window builds run concurrently
 // (-build-queue more wait FIFO; the rest are shed with 503 +
 // Retry-After), and an /aggregate whose fine build runs past
@@ -56,6 +67,7 @@ import (
 
 	"ocelotl/internal/core"
 	"ocelotl/internal/failpoint"
+	"ocelotl/internal/microscopic"
 	"ocelotl/internal/server"
 )
 
@@ -74,6 +86,8 @@ func main() {
 		maxBuilds = flag.Int("max-builds", 0, "concurrent window builds admitted by the overload gate (0 = GOMAXPROCS, negative disables the gate)")
 		buildQ    = flag.Int("build-queue", 0, "builds allowed to queue for a gate slot before shedding (0 = 4x max-builds)")
 		degrade   = flag.Duration("degrade-after", 0, "serve the coarse covering preview when a fine build runs past this (0 = default 2s, negative disables)")
+		indexName = flag.String("index", "auto", "event index backend for loaded traces: auto (RAM below threshold, disk above), ram, disk")
+		indexDir  = flag.String("index-dir", "", "directory for on-disk index store files (default: the system temp dir)")
 		verbose   = flag.Bool("v", false, "debug-level logging")
 	)
 	var preloads []string
@@ -104,6 +118,11 @@ func main() {
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // disable rather than fall back to the default
 	}
+	indexMode, err := microscopic.ParseIndexMode(*indexName)
+	if err != nil {
+		logger.Error("bad -index", "error", err)
+		os.Exit(1)
+	}
 	for _, spec := range failpoints {
 		name, fpSpec, _ := strings.Cut(spec, "=")
 		if err := failpoint.Enable(name, fpSpec); err != nil {
@@ -123,6 +142,7 @@ func main() {
 		MaxQueuedBuilds:     *buildQ,
 		DegradeAfter:        *degrade,
 		Logger:              logger,
+		Index:               microscopic.IndexOptions{Mode: indexMode, Dir: *indexDir},
 	})
 	for _, spec := range preloads {
 		id, path, _ := strings.Cut(spec, "=")
@@ -169,6 +189,12 @@ func main() {
 	}
 	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		logger.Error("server failed", "error", err)
+		os.Exit(1)
+	}
+	// In-flight requests have drained; release the event indexes so
+	// disk-backed traces remove their temporary store files.
+	if err := srv.Registry().CloseAll(); err != nil {
+		logger.Error("closing trace indexes", "error", err)
 		os.Exit(1)
 	}
 	logger.Info("bye")

@@ -28,6 +28,7 @@ func main() {
 		procs     = flag.Int("procs", 64, "custom run: MPI processes")
 		scale     = flag.Float64("scale", 0.02, "fraction of the paper's event count")
 		target    = flag.Int("target", 0, "absolute event budget (overrides -scale)")
+		events    = flag.Int64("events", 0, "stream exactly N synthetic events in O(1) memory (overrides -scale/-target; for multi-GB CI and bench traces)")
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		out       = flag.String("out", "", "output file (.csv, .bin, optionally .gz); required")
 		noPerturb = flag.Bool("no-perturb", false, "disable anomaly injection")
@@ -35,6 +36,9 @@ func main() {
 	flag.Parse()
 	if *out == "" {
 		fatal(fmt.Errorf("-out is required"))
+	}
+	if *events > 0 && *caseName == "" && *app == "" {
+		*app = "cg" // -events needs only a platform; default to a CG layout
 	}
 	sc, err := pickScenario(*caseName, *app, *procs)
 	if err != nil {
@@ -51,11 +55,19 @@ func main() {
 		fatal(err)
 	}
 	start := time.Now()
-	n := 0
-	perts, err := mpisim.GenerateStream(sc, cfg, func(ev trace.Event) error {
-		n++
-		return w.WriteEvent(ev)
-	})
+	var n int64
+	var perts []mpisim.Perturbation
+	if *events > 0 {
+		err = streamExact(sc, *events, func(ev trace.Event) error {
+			n++
+			return w.WriteEvent(ev)
+		})
+	} else {
+		perts, err = mpisim.GenerateStream(sc, cfg, func(ev trace.Event) error {
+			n++
+			return w.WriteEvent(ev)
+		})
+	}
 	if err != nil {
 		w.Close()
 		fatal(err)
@@ -73,6 +85,42 @@ func main() {
 	for _, p := range perts {
 		fmt.Printf("ground truth: %-18s %8.2fs – %8.2fs  %d ranks\n", p.Kind, p.Start, p.End, len(p.Ranks))
 	}
+}
+
+// streamExact emits exactly n synthetic events without materializing any
+// of them: each rank partitions the scenario runtime into equal state
+// intervals with the state cycling per rank, so event count — and
+// therefore file size — scales freely while generator memory stays
+// constant. Deterministic by construction (no RNG involved).
+func streamExact(sc grid5000.Scenario, n int64, emit func(trace.Event) error) error {
+	procs := int64(sc.Processes)
+	numStates := int64(len(mpisim.StateNames))
+	runtime := sc.PaperRuntime
+	for r := int64(0); r < procs; r++ {
+		per := n / procs
+		if r < n%procs {
+			per++
+		}
+		if per == 0 {
+			continue
+		}
+		dt := runtime / float64(per)
+		for i := int64(0); i < per; i++ {
+			ev := trace.Event{
+				Resource: trace.ResourceID(r),
+				State:    trace.StateID((r + i) % numStates),
+				Start:    float64(i) * dt,
+				End:      float64(i+1) * dt,
+			}
+			if i == per-1 {
+				ev.End = runtime // close the window exactly despite rounding
+			}
+			if err := emit(ev); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func pickScenario(caseName, app string, procs int) (grid5000.Scenario, error) {

@@ -1,6 +1,15 @@
 package main
 
-import "testing"
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/trace"
+	"ocelotl/internal/traceio"
+)
 
 func TestPickScenarioCase(t *testing.T) {
 	sc, err := pickScenario("A", "", 0)
@@ -50,5 +59,82 @@ func TestCustomizeRejectsNonPositive(t *testing.T) {
 	}
 	if _, err := pickScenario("", "cg", -4); err == nil {
 		t.Error("negative procs accepted")
+	}
+}
+
+func TestStreamExact(t *testing.T) {
+	sc, err := pickScenario("", "cg", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int64{0, 1, 6, 7, 1000} {
+		var got int64
+		var maxEnd float64
+		err := streamExact(sc, n, func(ev trace.Event) error {
+			got++
+			if ev.Start >= ev.End {
+				return fmt.Errorf("empty interval [%g,%g)", ev.Start, ev.End)
+			}
+			if int(ev.Resource) >= sc.Processes {
+				return fmt.Errorf("resource %d out of range", ev.Resource)
+			}
+			if ev.End > maxEnd {
+				maxEnd = ev.End
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got != n {
+			t.Errorf("n=%d: emitted %d events", n, got)
+		}
+		if n >= int64(sc.Processes) && maxEnd != sc.PaperRuntime {
+			t.Errorf("n=%d: window ends at %g, want %g", n, maxEnd, sc.PaperRuntime)
+		}
+	}
+}
+
+// TestStreamExactIndexes runs the synthetic stream through the pipeline
+// it exists for: write to a file, index it, build a window.
+func TestStreamExactIndexes(t *testing.T) {
+	sc, err := pickScenario("", "cg", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "syn.bin")
+	w, err := traceio.CreateFile(path, traceio.Header{
+		Resources: sc.Platform.ResourcePaths(sc.Processes),
+		States:    mpisim.StateNames,
+		Start:     0, End: sc.PaperRuntime,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamExact(sc, 500, w.WriteEvent); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := traceio.OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	rs, err := microscopic.NewReslicerIndexed(r, microscopic.IndexOptions{Mode: microscopic.IndexDisk, Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	if rs.NumEvents() != 500 {
+		t.Fatalf("indexed %d events, want 500", rs.NumEvents())
+	}
+	m, err := rs.Build(microscopic.Options{Slices: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSlices() != 10 {
+		t.Fatalf("built %d slices", m.NumSlices())
 	}
 }

@@ -27,8 +27,13 @@
 // ctx.Err() with no partial results.
 //
 // The serving layer turns that into a long-lived service. The packages
-// layer traceio → microscopic → core → server: traceio streams trace
-// files, microscopic indexes them into one Reslicer per loaded trace,
+// layer traceio → eventstore → microscopic → core → server: traceio
+// streams trace files, eventstore (below microscopic, no dependency on
+// it) is the out-of-core option — a chunked, per-resource, time-ordered
+// on-disk event index written once at load so window builds read only
+// the chunks they overlap — microscopic indexes each loaded trace into
+// one Reslicer (RAM for small traces, the eventstore past a size
+// threshold, bit-identical either way),
 // core builds immutable per-window Inputs and answers p-queries, and
 // internal/server (the HTTP/JSON front-end behind cmd/ocelotld) keeps a
 // window-keyed, byte-budgeted LRU cache of those Inputs whose misses are

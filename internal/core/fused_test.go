@@ -317,7 +317,7 @@ func TestInputBuildCancellation(t *testing.T) {
 		ctx.cancel()
 
 		// The incremental pass honors ctx the same way.
-		shifted, ov := r.Shift(want.Model, 3)
+		shifted, ov := testShift(t, r, want.Model, 3)
 		probe = newCancelAfterChecks(1 << 40)
 		wantUpd, err := want.UpdateContext(probe, shifted, ov)
 		if err != nil {

@@ -1,0 +1,28 @@
+package core
+
+import (
+	"testing"
+
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/timeslice"
+)
+
+// testBuildAt and testShift unwrap the fallible index API for tests on
+// RAM-backed reslicers, where fills cannot fail.
+func testBuildAt(t *testing.T, r *microscopic.Reslicer, sl timeslice.Slicer) *microscopic.Model {
+	t.Helper()
+	m, err := r.BuildAt(sl)
+	if err != nil {
+		t.Fatalf("BuildAt: %v", err)
+	}
+	return m
+}
+
+func testShift(t *testing.T, r *microscopic.Reslicer, m *microscopic.Model, k int) (*microscopic.Model, microscopic.SliceOverlap) {
+	t.Helper()
+	nm, ov, err := r.Shift(m, k)
+	if err != nil {
+		t.Fatalf("Shift: %v", err)
+	}
+	return nm, ov
+}

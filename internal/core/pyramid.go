@@ -139,7 +139,10 @@ func (p *Pyramid) Resolve(ctx context.Context, sl timeslice.Slicer) (*Input, Res
 				p.touch(gid, res)
 				return res, ResolveHit, nil
 			}
-			m, ov := p.r.Shift(res.Model, k)
+			m, ov, err := p.r.Shift(res.Model, k)
+			if err != nil {
+				return nil, "", err
+			}
 			in, err := res.UpdateContext(ctx, m, ov)
 			if err != nil {
 				return nil, "", err
@@ -148,7 +151,11 @@ func (p *Pyramid) Resolve(ctx context.Context, sl timeslice.Slicer) (*Input, Res
 			return in, ResolvePan, nil
 		}
 	}
-	in, err := NewInputContext(ctx, p.r.BuildAt(sl), p.opts)
+	m, err := p.r.BuildAt(sl)
+	if err != nil {
+		return nil, "", err
+	}
+	in, err := NewInputContext(ctx, m, p.opts)
 	if err != nil {
 		return nil, "", err
 	}

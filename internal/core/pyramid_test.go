@@ -35,7 +35,7 @@ func TestCoarsenBitIdentity(t *testing.T) {
 				// Pan the fine window by a factor-aligned offset so the
 				// coarse grid stays anchored, as ladder levels are.
 				if k := factor * (rng.Intn(5) - 2); k != 0 {
-					m, _ = r.Shift(m, k)
+					m, _ = testShift(t, r, m, k)
 				}
 				opt := Options{Workers: workers, Normalize: trial%2 == 0}
 				in := NewInput(m, opt)
@@ -81,7 +81,7 @@ func TestCoarsenRejectsBadFactors(t *testing.T) {
 			t.Errorf("Coarsen(%d) on |T|=12 succeeded, want error", factor)
 		}
 	}
-	odd, _ := r.Shift(m, 1) // grid offset 1: not 2-aligned
+	odd, _ := testShift(t, r, m, 1) // grid offset 1: not 2-aligned
 	if _, err := NewInput(odd, Options{}).Coarsen(2); err == nil {
 		t.Error("Coarsen(2) on an odd grid offset succeeded, want error")
 	}
@@ -137,7 +137,7 @@ func TestPyramidZoomBitIdentity(t *testing.T) {
 					t.Fatalf("step %d %s: %v", step, label, err)
 				}
 				kinds[kind]++
-				fresh := NewInput(r.BuildAt(in.Model.Slicer), opt)
+				fresh := NewInput(testBuildAt(t, r, in.Model.Slicer), opt)
 				requireInputsBitIdentical(t, in, fresh,
 					"step "+strconv.Itoa(step)+" "+label+" ("+string(kind)+")")
 			}
@@ -193,7 +193,7 @@ func TestPyramidZoomInViaFinerLevel(t *testing.T) {
 	if kind != ResolvePan {
 		t.Fatalf("re-drill: kind %q, want pan", kind)
 	}
-	requireInputsBitIdentical(t, again, NewInput(r.BuildAt(again.Model.Slicer), Options{}), "re-drill")
+	requireInputsBitIdentical(t, again, NewInput(testBuildAt(t, r, again.Model.Slicer), Options{}), "re-drill")
 }
 
 // TestPyramidLevelCap: the ladder retains at most maxLevels levels,
@@ -269,7 +269,7 @@ func TestPyramidConcurrentResolve(t *testing.T) {
 					t.Error(err)
 					return
 				}
-				fresh := NewInput(r.BuildAt(got.Model.Slicer), Options{Workers: 2})
+				fresh := NewInput(testBuildAt(t, r, got.Model.Slicer), Options{Workers: 2})
 				gotG, gotL := got.RootGainLoss()
 				wantG, wantL := fresh.RootGainLoss()
 				if gotG != wantG || gotL != wantL {

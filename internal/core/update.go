@@ -82,7 +82,10 @@ func (in *Input) Pan(k int) (*Input, error) {
 	if r == nil {
 		return nil, fmt.Errorf("core: Pan needs a model built by a microscopic.Reslicer")
 	}
-	m, ov := r.Shift(in.Model, k)
+	m, ov, err := r.Shift(in.Model, k)
+	if err != nil {
+		return nil, err
+	}
 	return in.Update(m, ov), nil
 }
 

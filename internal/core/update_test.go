@@ -122,7 +122,7 @@ func TestUpdateEquivalenceRandomSequences(t *testing.T) {
 					label = "Zoom(" + strconv.Itoa(lo) + "," + strconv.Itoa(hi) + ")"
 				case 2: // raw Update from an explicit Shift
 					k := rng.Intn(7) - 3
-					m2, ov := r.Shift(in.Model, k)
+					m2, ov := testShift(t, r, in.Model, k)
 					in, err = in.Update(m2, ov), nil
 					label = "Update(Shift " + strconv.Itoa(k) + ")"
 				default: // arbitrary absolute window: no reusable slices
@@ -137,7 +137,7 @@ func TestUpdateEquivalenceRandomSequences(t *testing.T) {
 				if err != nil {
 					t.Fatalf("step %d %s: %v", step, label, err)
 				}
-				fresh := NewInput(r.BuildAt(in.Model.Slicer), opt)
+				fresh := NewInput(testBuildAt(t, r, in.Model.Slicer), opt)
 				requireInputsBitIdentical(t, in, fresh,
 					"step "+strconv.Itoa(step)+" "+label)
 				// The incrementally produced model must itself match a full
@@ -172,7 +172,7 @@ func TestUpdateDegradesToRebuild(t *testing.T) {
 	in := NewInput(m, Options{Workers: 2})
 
 	// Empty/garbage overlaps: still bit-identical to fresh.
-	m2, _ := r.Shift(m, 3)
+	m2, _ := testShift(t, r, m, 3)
 	for _, ov := range []microscopic.SliceOverlap{
 		{},
 		{OldLo: -4, NewLo: 0, W: 5},

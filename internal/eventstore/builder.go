@@ -1,0 +1,393 @@
+package eventstore
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Builder tuning defaults. 4K events per chunk keeps a 1-slice pan to a
+// handful of chunk decodes; a 1M-event sort buffer (24 MiB) bounds build
+// RAM regardless of trace size.
+const (
+	DefaultTargetChunkEvents = 4096
+	DefaultSortBufferEvents  = 1 << 20
+)
+
+// record is the builder's fixed 24-byte spill format: series, state,
+// start bits, end bits, little-endian. Runs of sorted records merge back
+// without any per-record allocation.
+const recordSize = 24
+
+type record struct {
+	series uint32
+	state  int32
+	start  float64
+	end    float64
+}
+
+func (r record) marshal(b []byte) {
+	binary.LittleEndian.PutUint32(b[0:], r.series)
+	binary.LittleEndian.PutUint32(b[4:], uint32(r.state))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.start))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(r.end))
+}
+
+func unmarshalRecord(b []byte) record {
+	return record{
+		series: binary.LittleEndian.Uint32(b[0:]),
+		state:  int32(binary.LittleEndian.Uint32(b[4:])),
+		start:  math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		end:    math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+	}
+}
+
+// Builder streams events into a store file in bounded memory. Events
+// arrive in any order; Add buffers up to Options.SortBufferEvents, each
+// overflow spills one stably-sorted run beside the output file, and
+// Finish merges the runs (k-way, ties broken by spill order) into
+// (series asc, start asc, arrival order) chunks. The merge order is
+// byte-for-byte the order a global stable sort of the whole event
+// sequence would give — the invariant the bit-identity contract with the
+// in-RAM index rests on.
+type Builder struct {
+	path string
+	meta Meta
+	opt  Options
+
+	buf  []record
+	runs []*os.File // spilled sorted runs, in spill order
+	n    int64      // events added
+
+	finished bool
+}
+
+// Create starts building a store at path. The directory containing path
+// also hosts the temporary spill runs, so spills live on the same
+// filesystem as the result. meta.NumEvents is ignored; the builder
+// counts.
+func Create(path string, meta Meta, opt Options) (*Builder, error) {
+	if opt.TargetChunkEvents <= 0 {
+		opt.TargetChunkEvents = DefaultTargetChunkEvents
+	}
+	if opt.SortBufferEvents <= 0 {
+		opt.SortBufferEvents = DefaultSortBufferEvents
+	}
+	return &Builder{path: path, meta: meta, opt: opt}, nil
+}
+
+// Add buffers one event, spilling a sorted run if the buffer is full.
+func (b *Builder) Add(series uint32, state int32, start, end float64) error {
+	b.buf = append(b.buf, record{series: series, state: state, start: start, end: end})
+	b.n++
+	if len(b.buf) >= b.opt.SortBufferEvents {
+		return b.spill()
+	}
+	return nil
+}
+
+// sortBuf stably orders the buffer by (series, start); ties keep arrival
+// order, matching the in-RAM index's sort.SliceStable on starts.
+func (b *Builder) sortBuf() {
+	sort.SliceStable(b.buf, func(i, j int) bool {
+		if b.buf[i].series != b.buf[j].series {
+			return b.buf[i].series < b.buf[j].series
+		}
+		return b.buf[i].start < b.buf[j].start
+	})
+}
+
+func (b *Builder) spill() error {
+	b.sortBuf()
+	f, err := os.CreateTemp(filepath.Dir(b.path), ".oces-run-*")
+	if err != nil {
+		return fmt.Errorf("eventstore: spill run: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<16)
+	var rec [recordSize]byte
+	for _, r := range b.buf {
+		r.marshal(rec[:])
+		if _, err := w.Write(rec[:]); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return fmt.Errorf("eventstore: spill run: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return fmt.Errorf("eventstore: spill run: %w", err)
+	}
+	b.buf = b.buf[:0]
+	b.runs = append(b.runs, f)
+	return nil
+}
+
+// Abort discards the build: spill runs are removed and nothing is
+// written at path.
+func (b *Builder) Abort() {
+	if b.finished {
+		return
+	}
+	b.finished = true
+	for _, f := range b.runs {
+		f.Close()
+		os.Remove(f.Name())
+	}
+	b.runs = nil
+	b.buf = nil
+}
+
+// Finish sorts/merges everything added, writes the store file and opens
+// it for reading. The freshly written file goes through the same
+// validating Open as any other store, so a Finish that returns nil error
+// hands back a store whose checksums have been verified once already.
+func (b *Builder) Finish() (*Store, error) {
+	if b.finished {
+		return nil, fmt.Errorf("eventstore: Finish on finished builder")
+	}
+	b.finished = true
+	defer func() {
+		for _, f := range b.runs {
+			f.Close()
+			os.Remove(f.Name())
+		}
+		b.runs = nil
+	}()
+
+	b.meta.NumEvents = b.n
+	out, err := os.Create(b.path)
+	if err != nil {
+		return nil, err
+	}
+	cw := &chunkedWriter{
+		w:   bufio.NewWriterSize(out, 1<<18),
+		opt: b.opt,
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:4], storeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], storeVersion)
+	if _, err := cw.w.Write(hdr[:]); err != nil {
+		return nil, b.fail(out, err)
+	}
+	cw.off = headerSize
+
+	emit := func(r record) error { return cw.add(r) }
+	if len(b.runs) == 0 {
+		// Everything fit in the buffer: sort in place and emit directly.
+		b.sortBuf()
+		for _, r := range b.buf {
+			if err := emit(r); err != nil {
+				return nil, b.fail(out, err)
+			}
+		}
+		b.buf = nil
+	} else {
+		if len(b.buf) > 0 {
+			if err := b.spill(); err != nil {
+				return nil, b.fail(out, err)
+			}
+		}
+		if err := mergeRuns(b.runs, emit); err != nil {
+			return nil, b.fail(out, err)
+		}
+	}
+	if err := cw.flushChunk(); err != nil {
+		return nil, b.fail(out, err)
+	}
+
+	dirOff := cw.off
+	dirBuf := make([]byte, len(cw.dir)*chunkRefSize)
+	for i, c := range cw.dir {
+		c.marshal(dirBuf[i*chunkRefSize:])
+	}
+	metaBuf, err := appendMeta(nil, b.meta)
+	if err != nil {
+		return nil, b.fail(out, err)
+	}
+	if _, err := cw.w.Write(dirBuf); err != nil {
+		return nil, b.fail(out, err)
+	}
+	if _, err := cw.w.Write(metaBuf); err != nil {
+		return nil, b.fail(out, err)
+	}
+	crc := crc32.ChecksumIEEE(dirBuf)
+	crc = crc32.Update(crc, crc32.IEEETable, metaBuf)
+	var ftr [footerSize]byte
+	binary.LittleEndian.PutUint64(ftr[0:], dirOff)
+	binary.LittleEndian.PutUint64(ftr[8:], uint64(len(dirBuf)))
+	binary.LittleEndian.PutUint64(ftr[16:], uint64(len(metaBuf)))
+	binary.LittleEndian.PutUint32(ftr[24:], crc)
+	copy(ftr[28:], footerMagic)
+	if _, err := cw.w.Write(ftr[:]); err != nil {
+		return nil, b.fail(out, err)
+	}
+	if err := cw.w.Flush(); err != nil {
+		return nil, b.fail(out, err)
+	}
+	if err := out.Close(); err != nil {
+		os.Remove(b.path)
+		return nil, err
+	}
+	s, err := Open(b.path, b.opt)
+	if err != nil {
+		os.Remove(b.path)
+		return nil, err
+	}
+	return s, nil
+}
+
+func (b *Builder) fail(out *os.File, err error) error {
+	out.Close()
+	os.Remove(b.path)
+	if _, ok := err.(*CorruptError); ok {
+		return err
+	}
+	return fmt.Errorf("eventstore: write %s: %w", b.path, err)
+}
+
+// chunkedWriter packs the sorted event stream into chunks: a chunk holds
+// one series and at most TargetChunkEvents events, delta-encoded against
+// the previous start within the chunk (each chunk restarts the delta
+// chain, so chunks decode independently).
+type chunkedWriter struct {
+	w   *bufio.Writer
+	opt Options
+	off uint64
+	dir []chunkRef
+
+	payload   []byte
+	series    uint32
+	count     int
+	minStart  float64
+	maxEnd    float64
+	prevStart uint64
+	open      bool
+}
+
+func (cw *chunkedWriter) add(r record) error {
+	if cw.open && (r.series != cw.series || cw.count >= cw.opt.TargetChunkEvents) {
+		if err := cw.flushChunk(); err != nil {
+			return err
+		}
+	}
+	startBits := math.Float64bits(r.start)
+	if !cw.open {
+		cw.open = true
+		cw.series = r.series
+		cw.count = 0
+		cw.minStart = r.start
+		cw.maxEnd = math.Inf(-1)
+		cw.prevStart = 0
+		cw.payload = cw.payload[:0]
+	}
+	cw.payload = appendEvent(cw.payload, r.state, startBits, cw.prevStart, math.Float64bits(r.end))
+	cw.prevStart = startBits
+	if r.end > cw.maxEnd {
+		cw.maxEnd = r.end
+	}
+	cw.count++
+	return nil
+}
+
+func (cw *chunkedWriter) flushChunk() error {
+	if !cw.open {
+		return nil
+	}
+	cw.open = false
+	ref := chunkRef{
+		series:   cw.series,
+		count:    uint32(cw.count),
+		off:      cw.off,
+		length:   uint64(len(cw.payload)),
+		minStart: cw.minStart,
+		maxEnd:   cw.maxEnd,
+		crc:      crc32.ChecksumIEEE(cw.payload),
+	}
+	if _, err := cw.w.Write(cw.payload); err != nil {
+		return err
+	}
+	cw.off += uint64(len(cw.payload))
+	cw.dir = append(cw.dir, ref)
+	return nil
+}
+
+// runHead is one spill run's cursor in the k-way merge.
+type runHead struct {
+	r   *bufio.Reader
+	rec record
+	idx int // spill order; ties resolve to the earliest spill
+}
+
+type runHeap []*runHead
+
+func (h runHeap) Len() int { return len(h) }
+func (h runHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.rec.series != b.rec.series {
+		return a.rec.series < b.rec.series
+	}
+	if a.rec.start != b.rec.start {
+		return a.rec.start < b.rec.start
+	}
+	return a.idx < b.idx
+}
+func (h runHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)   { *h = append(*h, x.(*runHead)) }
+func (h *runHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+func (h *runHead) next() (bool, error) {
+	var rec [recordSize]byte
+	if _, err := io.ReadFull(h.r, rec[:]); err != nil {
+		if err == io.EOF {
+			return false, nil
+		}
+		return false, err
+	}
+	h.rec = unmarshalRecord(rec[:])
+	return true, nil
+}
+
+// mergeRuns streams the stably-merged union of the sorted runs to emit.
+// Because each run is internally stable and ties across runs resolve to
+// the earliest-spilled run, the merged order equals a stable sort of the
+// original arrival sequence.
+func mergeRuns(runs []*os.File, emit func(record) error) error {
+	h := make(runHeap, 0, len(runs))
+	for i, f := range runs {
+		if _, err := f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		rh := &runHead{r: bufio.NewReaderSize(f, 1<<16), idx: i}
+		ok, err := rh.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			h = append(h, rh)
+		}
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		rh := h[0]
+		if err := emit(rh.rec); err != nil {
+			return err
+		}
+		ok, err := rh.next()
+		if err != nil {
+			return err
+		}
+		if ok {
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return nil
+}

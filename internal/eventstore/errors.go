@@ -1,0 +1,33 @@
+package eventstore
+
+import (
+	"errors"
+	"fmt"
+)
+
+// CorruptError marks an undecodable store file: bad magic, version skew,
+// a failed directory or chunk checksum, or a truncation. It carries the
+// byte offset of the failure when known (-1 otherwise), so a damaged
+// store can be bisected without a debugger — the same contract
+// traceio.CorruptError gives for trace files.
+type CorruptError struct {
+	Path   string
+	Offset int64 // byte offset into the store file; -1 if unknown
+	Err    error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Offset >= 0 {
+		return fmt.Sprintf("eventstore: %s: %v (at byte %d)", e.Path, e.Err, e.Offset)
+	}
+	return fmt.Sprintf("eventstore: %s: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorrupt reports whether err marks an undecodable store (as opposed
+// to an I/O failure opening or reading the file).
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}

@@ -63,7 +63,11 @@ func RunWindowing(cfg Config) error {
 		// the same index (Build accumulates in trace order, the index in
 		// per-resource start order, so *that* comparison is only ever
 		// tolerance-exact; within the index family equality is exact).
-		fresh := core.NewInput(r.BuildAt(got.Model.Slicer), core.Options{})
+		fm, err := r.BuildAt(got.Model.Slicer)
+		if err != nil {
+			return err
+		}
+		fresh := core.NewInput(fm, core.Options{})
 		if err := sameAnswers(got, fresh); err != nil {
 			return fmt.Errorf("windowing %s: incremental diverged from fresh build: %w", label, err)
 		}
@@ -114,7 +118,11 @@ func RunWindowing(cfg Config) error {
 		if err != nil {
 			return err
 		}
-		fresh := core.NewInput(r.BuildAt(got.Model.Slicer), core.Options{})
+		fm, err := r.BuildAt(got.Model.Slicer)
+		if err != nil {
+			return err
+		}
+		fresh := core.NewInput(fm, core.Options{})
 		if err := sameAnswers(got, fresh); err != nil {
 			return fmt.Errorf("pyramid %s: diverged from fresh build: %w", label, err)
 		}

@@ -1,0 +1,353 @@
+package microscopic
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"ocelotl/internal/eventstore"
+	"ocelotl/internal/hierarchy"
+	"ocelotl/internal/trace"
+)
+
+// eventIndex is the Reslicer's storage backend: per-leaf event sets
+// queryable by time window. Two implementations exist — the in-RAM
+// struct-of-arrays (ramIndex, the small-trace fast path) and the
+// chunked on-disk store (diskIndex, the out-of-core path). The contract
+// both uphold is the bit-identity invariant: fill visits exactly the
+// events with start < winHi and end > winLo, in ascending
+// (start, original stream order), so a model cell accumulates the same
+// floats in the same order whichever backend serves it.
+type eventIndex interface {
+	// fill visits leaf's events overlapping [winLo, winHi).
+	fill(leaf int, winLo, winHi float64, visit func(state int32, start, end float64)) error
+	numEvents() int64
+	// memoryBytes is the backend's fixed resident cost: the full arrays
+	// for RAM, the chunk directory for disk.
+	memoryBytes() int64
+	// openChunkBytes is the disk backend's decoded-chunk cache residency
+	// (0 for RAM) — reported separately so serving-layer byte budgets
+	// can account it without double-counting Input bytes.
+	openChunkBytes() int64
+	kind() string
+	readStats() eventstore.ReadStats
+	close() error
+}
+
+// IndexMode selects the Reslicer's index backend.
+type IndexMode int
+
+const (
+	// IndexAuto picks RAM below IndexOptions.Threshold events and spills
+	// to disk above it — the default.
+	IndexAuto IndexMode = iota
+	// IndexRAM forces the in-RAM struct-of-arrays index.
+	IndexRAM
+	// IndexDisk forces the chunked on-disk store.
+	IndexDisk
+)
+
+func (m IndexMode) String() string {
+	switch m {
+	case IndexAuto:
+		return "auto"
+	case IndexRAM:
+		return "ram"
+	case IndexDisk:
+		return "disk"
+	default:
+		return fmt.Sprintf("indexmode(%d)", int(m))
+	}
+}
+
+// ParseIndexMode parses the -index flag vocabulary: auto, ram, disk.
+func ParseIndexMode(s string) (IndexMode, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return IndexAuto, nil
+	case "ram":
+		return IndexRAM, nil
+	case "disk":
+		return IndexDisk, nil
+	default:
+		return IndexAuto, fmt.Errorf("microscopic: unknown index mode %q (want auto, ram or disk)", s)
+	}
+}
+
+// DefaultDiskIndexThreshold is the IndexAuto cutover: traces up to this
+// many events index in RAM (~28 B/event ⇒ ~120 MB at the threshold);
+// larger ones spill to the on-disk store mid-load.
+const DefaultDiskIndexThreshold = 4 << 20
+
+// IndexOptions configures NewReslicerIndexed.
+type IndexOptions struct {
+	// Mode selects the backend (default IndexAuto).
+	Mode IndexMode
+	// Threshold is the IndexAuto RAM→disk cutover in events (default
+	// DefaultDiskIndexThreshold).
+	Threshold int64
+	// Dir hosts the store file and its spill runs for disk-backed
+	// indexes (default os.TempDir()). The file is a load-time temporary,
+	// removed when the Reslicer closes.
+	Dir string
+	// Store tunes the on-disk store (chunk size, sort buffer, chunk
+	// cache budget); zero values mean the eventstore defaults.
+	Store eventstore.Options
+}
+
+// ramIndex is the in-RAM backend: per-leaf struct-of-arrays sorted by
+// start, with the running-max-end column for interval queries. ~28 bytes
+// per event resident.
+type ramIndex struct {
+	evStart, evEnd [][]float64
+	evState        [][]int32
+	// evMaxEnd[s][i] = max(evEnd[s][0..i]) — nondecreasing, so the set
+	// of events possibly overlapping a window is one binary search on
+	// each side of the sorted-by-start array.
+	evMaxEnd [][]float64
+}
+
+// freezeRAM sorts each leaf's events by start and flattens them into a
+// ramIndex with the running-max-end column.
+func freezeRAM(tmp [][]indexedEvent) *ramIndex {
+	ix := &ramIndex{
+		evStart:  make([][]float64, len(tmp)),
+		evEnd:    make([][]float64, len(tmp)),
+		evState:  make([][]int32, len(tmp)),
+		evMaxEnd: make([][]float64, len(tmp)),
+	}
+	for s, evs := range tmp {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
+		starts := make([]float64, len(evs))
+		ends := make([]float64, len(evs))
+		states := make([]int32, len(evs))
+		maxEnd := make([]float64, len(evs))
+		running := 0.0
+		for i, e := range evs {
+			starts[i], ends[i], states[i] = e.start, e.end, e.state
+			if i == 0 || e.end > running {
+				running = e.end
+			}
+			maxEnd[i] = running
+		}
+		ix.evStart[s], ix.evEnd[s], ix.evState[s], ix.evMaxEnd[s] = starts, ends, states, maxEnd
+	}
+	return ix
+}
+
+func (ix *ramIndex) fill(leaf int, winLo, winHi float64, visit func(state int32, start, end float64)) error {
+	starts, ends, states, maxEnd := ix.evStart[leaf], ix.evEnd[leaf], ix.evState[leaf], ix.evMaxEnd[leaf]
+	// Candidates overlapping [winLo, winHi): start < winHi (prefix of
+	// the sorted array) and end > winLo (suffix of the nondecreasing
+	// running max).
+	i1 := sort.SearchFloat64s(starts, winHi)
+	i0 := sort.Search(i1, func(i int) bool { return maxEnd[i] > winLo })
+	for i := i0; i < i1; i++ {
+		if ends[i] <= winLo {
+			continue
+		}
+		visit(states[i], starts[i], ends[i])
+	}
+	return nil
+}
+
+func (ix *ramIndex) numEvents() int64 {
+	var n int64
+	for _, s := range ix.evStart {
+		n += int64(len(s))
+	}
+	return n
+}
+
+func (ix *ramIndex) memoryBytes() int64 {
+	// 8 (start) + 8 (end) + 4 (state) + 8 (maxEnd) per event.
+	return ix.numEvents() * 28
+}
+
+func (ix *ramIndex) openChunkBytes() int64           { return 0 }
+func (ix *ramIndex) kind() string                    { return "ram" }
+func (ix *ramIndex) readStats() eventstore.ReadStats { return eventstore.ReadStats{} }
+func (ix *ramIndex) close() error                    { return nil }
+
+// diskIndex adapts an eventstore.Store: series numbers are hierarchy
+// leaf indices, so fill maps straight through.
+type diskIndex struct {
+	store *eventstore.Store
+}
+
+func (ix *diskIndex) fill(leaf int, winLo, winHi float64, visit func(state int32, start, end float64)) error {
+	return ix.store.ForEachOverlapping(uint32(leaf), winLo, winHi, visit)
+}
+
+func (ix *diskIndex) numEvents() int64                { return ix.store.NumEvents() }
+func (ix *diskIndex) memoryBytes() int64              { return ix.store.DirectoryBytes() }
+func (ix *diskIndex) openChunkBytes() int64           { return ix.store.OpenChunkBytes() }
+func (ix *diskIndex) kind() string                    { return "disk" }
+func (ix *diskIndex) readStats() eventstore.ReadStats { return ix.store.ReadStats() }
+func (ix *diskIndex) close() error                    { return ix.store.Close() }
+
+// TraceSource adapts an in-memory trace to the EventSource interface, so
+// callers holding a *trace.Trace (generators, tests, the CLI's -case
+// path) can reach the indexed constructors and force a disk backend.
+func TraceSource(tr *trace.Trace) EventSource { return &memSource{tr: tr} }
+
+type memSource struct {
+	tr *trace.Trace
+	i  int
+}
+
+func (s *memSource) Resources() []string        { return s.tr.Resources }
+func (s *memSource) States() []string           { return s.tr.States }
+func (s *memSource) Window() (float64, float64) { return s.tr.Window() }
+func (s *memSource) Next(ev *trace.Event) error {
+	if s.i >= len(s.tr.Events) {
+		return io.EOF
+	}
+	*ev = s.tr.Events[s.i]
+	s.i++
+	return nil
+}
+
+// NewReslicerIndexed indexes a streaming source with an explicit backend
+// choice. IndexAuto streams once: events buffer in RAM up to the
+// threshold, and a trace that overflows it switches to the disk builder
+// mid-stream (the buffer drains into the builder; the stream is never
+// re-read). The returned Reslicer must be Closed when disk-backed — the
+// store file is a temporary that Close removes.
+func NewReslicerIndexed(src EventSource, opt IndexOptions) (*Reslicer, error) {
+	h, err := hierarchy.FromPaths(src.Resources())
+	if err != nil {
+		return nil, err
+	}
+	start, end := src.Window()
+	states := src.States()
+	r2leaf, err := leafMap(h, src.Resources())
+	if err != nil {
+		return nil, err
+	}
+	if opt.Threshold <= 0 {
+		opt.Threshold = DefaultDiskIndexThreshold
+	}
+	r := &Reslicer{
+		h:        h,
+		states:   append([]string(nil), states...),
+		winStart: start,
+		winEnd:   end,
+	}
+
+	var (
+		tmp     [][]indexedEvent // RAM buffer (nil once spilled)
+		total   int64
+		builder *eventstore.Builder
+	)
+	startBuilder := func() error {
+		b, err := newStoreBuilder(h, r2leaf, src.Resources(), states, start, end, opt)
+		if err != nil {
+			return err
+		}
+		builder = b
+		for leaf, evs := range tmp {
+			for _, e := range evs {
+				if err := builder.Add(uint32(leaf), e.state, e.start, e.end); err != nil {
+					builder.Abort()
+					return err
+				}
+			}
+		}
+		tmp = nil
+		return nil
+	}
+	if opt.Mode != IndexDisk {
+		tmp = make([][]indexedEvent, h.NumLeaves())
+	} else if err := startBuilder(); err != nil {
+		return nil, err
+	}
+
+	var ev trace.Event
+	for {
+		if err := src.Next(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			if builder != nil {
+				builder.Abort()
+			}
+			return nil, fmt.Errorf("microscopic: reading events: %w", err)
+		}
+		if builder == nil {
+			if err := indexEvent(tmp, r2leaf, len(states), ev); err != nil {
+				return nil, err
+			}
+			total++
+			if opt.Mode == IndexAuto && total > opt.Threshold {
+				if err := startBuilder(); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		leaf, err := checkEvent(r2leaf, len(states), ev)
+		if err != nil {
+			builder.Abort()
+			return nil, err
+		}
+		if err := builder.Add(uint32(leaf), int32(ev.State), ev.Start, ev.End); err != nil {
+			builder.Abort()
+			return nil, err
+		}
+	}
+
+	if builder == nil {
+		r.idx = freezeRAM(tmp)
+		return r, nil
+	}
+	store, err := builder.Finish()
+	if err != nil {
+		return nil, err
+	}
+	r.idx = &diskIndex{store: store}
+	return r, nil
+}
+
+// newStoreBuilder opens a disk-store builder for the source's shape: the
+// store's series table is the leaf-ordered resource paths, so series i
+// is hierarchy leaf i by construction.
+func newStoreBuilder(h *hierarchy.Hierarchy, r2leaf []int, resources, states []string, start, end float64, opt IndexOptions) (*eventstore.Builder, error) {
+	leafPaths := make([]string, h.NumLeaves())
+	for i, p := range resources {
+		leafPaths[r2leaf[i]] = p
+	}
+	dir := opt.Dir
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "ocelotl-index-*.oces")
+	if err != nil {
+		return nil, fmt.Errorf("microscopic: disk index: %w", err)
+	}
+	path := f.Name()
+	f.Close()
+	sopt := opt.Store
+	sopt.RemoveOnClose = true
+	meta := eventstore.Meta{Series: leafPaths, States: states, Start: start, End: end}
+	b, err := eventstore.Create(path, meta, sopt)
+	if err != nil {
+		os.Remove(path)
+		return nil, err
+	}
+	return b, nil
+}
+
+// checkEvent validates an event against the tables — the same acceptance
+// rules indexEvent applies on the buffered path — and returns its leaf.
+func checkEvent(r2leaf []int, numStates int, e trace.Event) (int, error) {
+	if int(e.State) >= numStates || e.State < 0 {
+		return 0, fmt.Errorf("microscopic: event references state %d, table has %d", e.State, numStates)
+	}
+	if int(e.Resource) >= len(r2leaf) || e.Resource < 0 {
+		return 0, fmt.Errorf("microscopic: event references resource %d, table has %d", e.Resource, len(r2leaf))
+	}
+	return r2leaf[e.Resource], nil
+}

@@ -2,9 +2,8 @@ package microscopic
 
 import (
 	"fmt"
-	"io"
-	"sort"
 
+	"ocelotl/internal/eventstore"
 	"ocelotl/internal/hierarchy"
 	"ocelotl/internal/timeslice"
 	"ocelotl/internal/trace"
@@ -22,34 +21,31 @@ type SliceOverlap struct {
 func (ov SliceOverlap) Shared() bool { return ov.W > 0 }
 
 // Reslicer is the incremental counterpart of Build/BuildStream: it retains
-// a per-resource event index (events sorted by start time, with a running
-// maximum of end times for interval queries) so that a window change fills
-// only the slices that actually changed. A pan that keeps W of |T| slices
-// costs O(events overlapping the |T|−W new slices) instead of a pass over
-// the whole trace; a zoom costs O(events overlapping the new window).
+// a per-resource event index so that a window change fills only the slices
+// that actually changed. A pan that keeps W of |T| slices costs O(events
+// overlapping the |T|−W new slices) instead of a pass over the whole
+// trace; a zoom costs O(events overlapping the new window).
 //
-// The index costs O(events) memory — the price of interactive windowing on
-// an in-memory model. For one-shot analyses, Build/BuildStream remain the
-// cheaper path.
+// The index has two backends behind one contract (see eventIndex): the
+// in-RAM struct-of-arrays (~28 B/event — the small-trace fast path) and
+// the chunked on-disk event store (O(window) bytes per fill — the
+// out-of-core path for traces past RAM). NewReslicer/NewReslicerStream
+// build the RAM index; NewReslicerIndexed selects by IndexOptions. Both
+// backends visit identical events in identical order, so the models they
+// produce are bit-identical.
 //
 // A Reslicer is immutable after construction and safe for concurrent use;
 // the Models it produces carry a back-pointer to it (Model.Reslicer), which
-// the core layer's Pan/Zoom helpers use.
+// the core layer's Pan/Zoom helpers use. Disk-backed reslicers own a
+// temporary store file: Close releases it (fills racing a Close fail with
+// an error, never garbage).
 type Reslicer struct {
 	h      *hierarchy.Hierarchy
 	states []string
 	// Observation window of the underlying trace.
 	winStart, winEnd float64
 
-	// Per-leaf event index, struct-of-arrays, sorted by start (stable, so
-	// equal-start events keep their trace order and refills reproduce the
-	// exact same floating-point accumulation order every time).
-	evStart, evEnd [][]float64
-	evState        [][]int32
-	// evMaxEnd[s][i] = max(evEnd[s][0..i]) — nondecreasing, so the set of
-	// events possibly overlapping a window is one binary search on each
-	// side of the sorted-by-start array.
-	evMaxEnd [][]float64
+	idx eventIndex
 }
 
 // indexedEvent is the construction-time representation before the index is
@@ -59,8 +55,9 @@ type indexedEvent struct {
 	state      int32
 }
 
-// NewReslicer indexes an in-memory trace for incremental windowing. The
-// hierarchy is derived from the trace's resource paths, as in Build.
+// NewReslicer indexes an in-memory trace for incremental windowing (RAM
+// index — the trace is in memory already). The hierarchy is derived from
+// the trace's resource paths, as in Build.
 func NewReslicer(tr *trace.Trace) (*Reslicer, error) {
 	h, err := hierarchy.FromPaths(tr.Resources)
 	if err != nil {
@@ -78,56 +75,28 @@ func NewReslicer(tr *trace.Trace) (*Reslicer, error) {
 			return nil, err
 		}
 	}
-	r.freeze(tmp)
+	r.idx = freezeRAM(tmp)
 	return r, nil
 }
 
 // indexEvent validates one event against the tables and appends it to its
-// leaf's bucket; shared by both constructors so their acceptance rules
-// cannot drift apart.
+// leaf's bucket; the validation is checkEvent's, shared with the direct-
+// to-builder path so the acceptance rules cannot drift apart.
 func indexEvent(tmp [][]indexedEvent, r2leaf []int, numStates int, e trace.Event) error {
-	if int(e.State) >= numStates || e.State < 0 {
-		return fmt.Errorf("microscopic: event references state %d, table has %d", e.State, numStates)
+	s, err := checkEvent(r2leaf, numStates, e)
+	if err != nil {
+		return err
 	}
-	if int(e.Resource) >= len(r2leaf) || e.Resource < 0 {
-		return fmt.Errorf("microscopic: event references resource %d, table has %d", e.Resource, len(r2leaf))
-	}
-	s := r2leaf[e.Resource]
 	tmp[s] = append(tmp[s], indexedEvent{e.Start, e.End, int32(e.State)})
 	return nil
 }
 
-// NewReslicerStream indexes a streaming source for incremental windowing.
-// Unlike BuildStream this necessarily materializes the (compacted) events:
-// ~20 bytes per event, the memory the incremental path trades for O(Δ)
-// window updates.
+// NewReslicerStream indexes a streaming source for incremental windowing
+// with the RAM backend: ~28 bytes per event, the memory the incremental
+// path trades for O(Δ) window updates. For traces past RAM, use
+// NewReslicerIndexed with IndexAuto or IndexDisk.
 func NewReslicerStream(src EventSource) (*Reslicer, error) {
-	h, err := hierarchy.FromPaths(src.Resources())
-	if err != nil {
-		return nil, err
-	}
-	start, end := src.Window()
-	states := src.States()
-	r := emptyReslicer(h, states, start, end)
-	r2leaf, err := leafMap(h, src.Resources())
-	if err != nil {
-		return nil, err
-	}
-	tmp := make([][]indexedEvent, h.NumLeaves())
-	var ev trace.Event
-	for {
-		if err := src.Next(&ev); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return nil, fmt.Errorf("microscopic: reading events: %w", err)
-		}
-		if err := indexEvent(tmp, r2leaf, len(states), ev); err != nil {
-			return nil, err
-		}
-	}
-	r.freeze(tmp)
-	return r, nil
+	return NewReslicerIndexed(src, IndexOptions{Mode: IndexRAM})
 }
 
 // leafMap maps trace resource IDs to hierarchy leaf indices.
@@ -144,37 +113,11 @@ func leafMap(h *hierarchy.Hierarchy, resources []string) ([]int, error) {
 }
 
 func emptyReslicer(h *hierarchy.Hierarchy, states []string, start, end float64) *Reslicer {
-	n := h.NumLeaves()
 	return &Reslicer{
 		h:        h,
 		states:   append([]string(nil), states...),
 		winStart: start,
 		winEnd:   end,
-		evStart:  make([][]float64, n),
-		evEnd:    make([][]float64, n),
-		evState:  make([][]int32, n),
-		evMaxEnd: make([][]float64, n),
-	}
-}
-
-// freeze sorts each leaf's events by start and flattens them into the
-// struct-of-arrays index with the running-max-end column.
-func (r *Reslicer) freeze(tmp [][]indexedEvent) {
-	for s, evs := range tmp {
-		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
-		starts := make([]float64, len(evs))
-		ends := make([]float64, len(evs))
-		states := make([]int32, len(evs))
-		maxEnd := make([]float64, len(evs))
-		running := 0.0
-		for i, e := range evs {
-			starts[i], ends[i], states[i] = e.start, e.end, e.state
-			if i == 0 || e.end > running {
-				running = e.end
-			}
-			maxEnd[i] = running
-		}
-		r.evStart[s], r.evEnd[s], r.evState[s], r.evMaxEnd[s] = starts, ends, states, maxEnd
 	}
 }
 
@@ -189,13 +132,31 @@ func (r *Reslicer) States() []string { return r.states }
 func (r *Reslicer) TraceWindow() (start, end float64) { return r.winStart, r.winEnd }
 
 // NumEvents returns the number of indexed events.
-func (r *Reslicer) NumEvents() int {
-	n := 0
-	for _, s := range r.evStart {
-		n += len(s)
-	}
-	return n
-}
+func (r *Reslicer) NumEvents() int { return int(r.idx.numEvents()) }
+
+// IndexKind names the index backend: "ram" or "disk".
+func (r *Reslicer) IndexKind() string { return r.idx.kind() }
+
+// IndexMemoryBytes returns the index's fixed resident cost — the event
+// arrays for the RAM backend, the chunk directory for the disk backend.
+// Reported distinctly from Input (model/arena) bytes so serving-layer
+// budgets don't double-count.
+func (r *Reslicer) IndexMemoryBytes() int64 { return r.idx.memoryBytes() }
+
+// OpenChunkBytes returns the disk backend's decoded-chunk cache
+// residency; 0 for the RAM backend.
+func (r *Reslicer) OpenChunkBytes() int64 { return r.idx.openChunkBytes() }
+
+// IndexReadStats snapshots the disk backend's read counters (zero for
+// the RAM backend): window-locality assertions and /debug/cachestats
+// read these.
+func (r *Reslicer) IndexReadStats() eventstore.ReadStats { return r.idx.readStats() }
+
+// Close releases the index. For the RAM backend this is a no-op; for the
+// disk backend it closes and removes the store file — fills in flight
+// fail with an error after that, they never read freed memory or
+// recycled file handles into a model.
+func (r *Reslicer) Close() error { return r.idx.close() }
 
 // Build constructs the initial model, like the package-level Build but
 // from the index, producing a Model bound to this reslicer. The zero
@@ -212,18 +173,22 @@ func (r *Reslicer) Build(opt Options) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("microscopic: %w", err)
 	}
-	return r.BuildAt(sl), nil
+	return r.BuildAt(sl)
 }
 
 // BuildAt fills a complete model for an exact slicer. Incremental updates
 // and from-scratch builds share this fill path, which is what makes a
 // chain of Shift/Zoom calls bit-identical to one BuildAt on the final
-// slicer (every cell accumulates the same events in the same order).
-func (r *Reslicer) BuildAt(sl timeslice.Slicer) *Model {
+// slicer (every cell accumulates the same events in the same order). The
+// error is always nil for RAM-backed reslicers; disk-backed fills can
+// fail on I/O or a corrupt chunk.
+func (r *Reslicer) BuildAt(sl timeslice.Slicer) (*Model, error) {
 	m := NewEmpty(r.h, sl, r.states)
 	m.resl = r
-	r.fillRange(m, 0, sl.N-1)
-	return m
+	if err := r.fillRange(m, 0, sl.N-1); err != nil {
+		return nil, err
+	}
+	return m, nil
 }
 
 // Shift pans the model's window by k slices on the same grid, copying the
@@ -231,14 +196,16 @@ func (r *Reslicer) BuildAt(sl timeslice.Slicer) *Model {
 // the event index. The returned overlap is what core.Input.Update needs to
 // reuse its matrices. Panning past the trace extent is allowed — slices
 // out there are simply empty.
-func (r *Reslicer) Shift(m *Model, k int) (*Model, SliceOverlap) {
+func (r *Reslicer) Shift(m *Model, k int) (*Model, SliceOverlap, error) {
 	T := m.Slicer.N
 	nm := NewEmpty(r.h, m.Slicer.Shift(k), r.states)
 	nm.resl = r
 	ov := ShiftOverlap(T, k)
 	if !ov.Shared() {
-		r.fillRange(nm, 0, T-1)
-		return nm, ov
+		if err := r.fillRange(nm, 0, T-1); err != nil {
+			return nil, SliceOverlap{}, err
+		}
+		return nm, ov, nil
 	}
 	for x := range nm.dx {
 		oldRow, newRow := m.dx[x], nm.dx[x]
@@ -246,12 +213,16 @@ func (r *Reslicer) Shift(m *Model, k int) (*Model, SliceOverlap) {
 			copy(newRow[s*T+ov.NewLo:s*T+ov.NewLo+ov.W], oldRow[s*T+ov.OldLo:s*T+ov.OldLo+ov.W])
 		}
 	}
+	var err error
 	if k > 0 {
-		r.fillRange(nm, T-k, T-1)
+		err = r.fillRange(nm, T-k, T-1)
 	} else {
-		r.fillRange(nm, 0, -k-1)
+		err = r.fillRange(nm, 0, -k-1)
 	}
-	return nm, ov
+	if err != nil {
+		return nil, SliceOverlap{}, err
+	}
+	return nm, ov, nil
 }
 
 // ShiftOverlap returns the surviving-slice mapping of a k-slice pan over a
@@ -305,15 +276,18 @@ func (r *Reslicer) Zoom(m *Model, lo, hi int) (*Model, SliceOverlap, error) {
 		return nil, SliceOverlap{}, fmt.Errorf("microscopic: zoom range [%d,%d] inverted", lo, hi)
 	}
 	if hi-lo+1 == T { // same width: a pure pan, keep the grid
-		nm, ov := r.Shift(m, lo)
-		return nm, ov, nil
+		return r.Shift(m, lo)
 	}
 	start, end := m.Slicer.IntervalBounds(lo, hi)
 	sl, err := timeslice.New(start, end, T)
 	if err != nil {
 		return nil, SliceOverlap{}, fmt.Errorf("microscopic: %w", err)
 	}
-	return r.BuildAt(sl), SliceOverlap{}, nil
+	nm, err := r.BuildAt(sl)
+	if err != nil {
+		return nil, SliceOverlap{}, err
+	}
+	return nm, SliceOverlap{}, nil
 }
 
 // Window re-slices an arbitrary absolute time window at the model's
@@ -324,14 +298,19 @@ func (r *Reslicer) Window(m *Model, start, end float64) (*Model, SliceOverlap, e
 	if err != nil {
 		return nil, SliceOverlap{}, fmt.Errorf("microscopic: %w", err)
 	}
-	return r.BuildAt(sl), SliceOverlap{}, nil
+	nm, err := r.BuildAt(sl)
+	if err != nil {
+		return nil, SliceOverlap{}, err
+	}
+	return nm, SliceOverlap{}, nil
 }
 
 // fillRange accumulates d_x(s,t) for slices lo..hi of m from the event
 // index. Both the full build and every incremental fill funnel through
 // here so that any given cell always sums the same events in the same
-// order — the bit-identity the incremental engine path relies on.
-func (r *Reslicer) fillRange(m *Model, lo, hi int) {
+// order — the bit-identity the incremental engine path relies on,
+// whichever index backend serves the events.
+func (r *Reslicer) fillRange(m *Model, lo, hi int) error {
 	T := m.Slicer.N
 	if lo < 0 {
 		lo = 0
@@ -340,28 +319,23 @@ func (r *Reslicer) fillRange(m *Model, lo, hi int) {
 		hi = T - 1
 	}
 	if hi < lo {
-		return
+		return nil
 	}
 	winLo, _ := m.Slicer.Bounds(lo)
 	_, winHi := m.Slicer.Bounds(hi)
-	for s := range r.evStart {
-		starts, ends, states, maxEnd := r.evStart[s], r.evEnd[s], r.evState[s], r.evMaxEnd[s]
-		// Candidates overlapping [winLo, winHi): start < winHi (prefix of
-		// the sorted array) and end > winLo (suffix of the nondecreasing
-		// running max).
-		i1 := sort.SearchFloat64s(starts, winHi)
-		i0 := sort.Search(i1, func(i int) bool { return maxEnd[i] > winLo })
+	for s := 0; s < r.h.NumLeaves(); s++ {
 		base := s * T
-		for i := i0; i < i1; i++ {
-			if ends[i] <= winLo {
-				continue
-			}
-			row := m.dx[states[i]]
-			m.Slicer.Overlap(starts[i], ends[i], func(t int, sec float64) {
+		err := r.idx.fill(s, winLo, winHi, func(state int32, start, end float64) {
+			row := m.dx[state]
+			m.Slicer.Overlap(start, end, func(t int, sec float64) {
 				if t >= lo && t <= hi {
 					row[base+t] += sec
 				}
 			})
+		})
+		if err != nil {
+			return err
 		}
 	}
+	return nil
 }

@@ -10,6 +10,26 @@ import (
 	"ocelotl/internal/trace"
 )
 
+// mustBuildAt and mustShift unwrap the fallible index API for tests on
+// RAM-backed reslicers, where fills cannot fail.
+func mustBuildAt(t *testing.T, r *Reslicer, sl timeslice.Slicer) *Model {
+	t.Helper()
+	m, err := r.BuildAt(sl)
+	if err != nil {
+		t.Fatalf("BuildAt: %v", err)
+	}
+	return m
+}
+
+func mustShift(t *testing.T, r *Reslicer, m *Model, k int) (*Model, SliceOverlap) {
+	t.Helper()
+	nm, ov, err := r.Shift(m, k)
+	if err != nil {
+		t.Fatalf("Shift: %v", err)
+	}
+	return nm, ov
+}
+
 // randomTrace builds a trace with overlapping, unsorted events so the
 // index's sorting and interval queries are actually exercised.
 func randomTrace(rng *rand.Rand, nRes, nEv int, winEnd float64) *trace.Trace {
@@ -133,11 +153,11 @@ func TestShiftBitIdenticalToFullFill(t *testing.T) {
 	shifts := []int{1, -2, 5, 40, -40, 3, -1, -1, 7}
 	for step, k := range shifts {
 		var ov SliceOverlap
-		m, ov = r.Shift(m, k)
+		m, ov = mustShift(t, r, m, k)
 		if want := 15 - abs(k); (want < 0 && ov.W != 0) || (want >= 0 && ov.W != max(0, want)) {
 			t.Fatalf("step %d: Shift(%d) overlap W=%d", step, k, ov.W)
 		}
-		fresh := r.BuildAt(m.Slicer)
+		fresh := mustBuildAt(t, r, m.Slicer)
 		modelsBitIdentical(t, m, fresh, "after shift chain")
 	}
 }
@@ -166,7 +186,7 @@ func TestZoomEquivalence(t *testing.T) {
 	if zm.Slicer.Start != wantLo || zm.Slicer.End != wantHi {
 		t.Errorf("zoom window [%v,%v), want [%v,%v)", zm.Slicer.Start, zm.Slicer.End, wantLo, wantHi)
 	}
-	modelsBitIdentical(t, zm, r.BuildAt(zm.Slicer), "zoom")
+	modelsBitIdentical(t, zm, mustBuildAt(t, r, zm.Slicer), "zoom")
 
 	// Zoom out from the zoomed view, back over a wider range.
 	om, ov, err := r.Zoom(zm, -6, 17)
@@ -176,7 +196,7 @@ func TestZoomEquivalence(t *testing.T) {
 	if ov.Shared() {
 		t.Errorf("zoom-out reported overlap %+v", ov)
 	}
-	modelsBitIdentical(t, om, r.BuildAt(om.Slicer), "zoom out")
+	modelsBitIdentical(t, om, mustBuildAt(t, r, om.Slicer), "zoom out")
 
 	// Full-width zoom == pan.
 	pm, ov, err := r.Zoom(m, 2, 13)
@@ -186,7 +206,7 @@ func TestZoomEquivalence(t *testing.T) {
 	if !ov.Shared() || ov.W != 10 || ov.OldLo != 2 || ov.NewLo != 0 {
 		t.Errorf("full-width zoom overlap %+v, want pan by 2", ov)
 	}
-	sm, _ := r.Shift(m, 2)
+	sm, _ := mustShift(t, r, m, 2)
 	modelsBitIdentical(t, pm, sm, "full-width zoom vs pan")
 
 	if _, _, err := r.Zoom(m, 5, 4); err == nil {
@@ -213,7 +233,7 @@ func TestWindowArbitrary(t *testing.T) {
 	if ov.Shared() {
 		t.Errorf("arbitrary window reported overlap %+v", ov)
 	}
-	modelsBitIdentical(t, wm, r.BuildAt(wm.Slicer), "window")
+	modelsBitIdentical(t, wm, mustBuildAt(t, r, wm.Slicer), "window")
 	if _, _, err := r.Window(m, 5, 5); err == nil {
 		t.Error("empty window accepted")
 	}

@@ -435,10 +435,15 @@ func (c *InputCache) Admit(tr *Trace, sl timeslice.Slicer) error {
 		return nil
 	}
 	est := core.EstimateMemoryBytes(tr.resl.Hierarchy().NumNodes(), len(tr.resl.States()), sl.N)
-	if est > c.budget {
+	// Disk-backed indexes keep decoded chunks resident while serving
+	// fills; that memory shares the machine with the Input arenas, so
+	// admission charges it against the budget instead of pretending the
+	// arenas are the only residents.
+	avail := c.budget - tr.resl.OpenChunkBytes()
+	if est > avail {
 		c.stats.Rejected.Add(1)
-		return fmt.Errorf("window at %d slices needs ~%d bytes of Input arenas, cache budget is %d bytes",
-			sl.N, est, c.budget)
+		return fmt.Errorf("window at %d slices needs ~%d bytes of Input arenas, cache budget is %d bytes (%d held by open index chunks)",
+			sl.N, est, c.budget, c.budget-avail)
 	}
 	return nil
 }
@@ -570,7 +575,10 @@ func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, 
 	}
 	if src != nil {
 		if ov := microscopic.GridOverlap(src.in.Model.Slicer, aligned); ov.Shared() {
-			m, shiftOv := tr.resl.Shift(src.in.Model, ov.Shift())
+			m, shiftOv, err := tr.resl.Shift(src.in.Model, ov.Shift())
+			if err != nil {
+				return nil, "", err
+			}
 			if err := ctx.Err(); err != nil {
 				return nil, "", err
 			}
@@ -582,7 +590,10 @@ func (c *InputCache) build(ctx context.Context, tr *Trace, sl timeslice.Slicer, 
 			return in, BuildDerived, nil
 		}
 	}
-	m := tr.resl.BuildAt(sl)
+	m, err := tr.resl.BuildAt(sl)
+	if err != nil {
+		return nil, "", err
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, "", err
 	}
@@ -734,7 +745,11 @@ func (c *InputCache) Snapshot() StatsSnapshot {
 // generation, simulating a build that was in flight across an unload;
 // tests use it to prove generation isolation.
 func (c *InputCache) insertStaleForTest(tr *Trace, sl timeslice.Slicer) {
-	in := core.NewInput(tr.resl.BuildAt(sl), c.opts)
+	m, err := tr.resl.BuildAt(sl)
+	if err != nil {
+		panic(err) // test-only helper; RAM-backed fills cannot fail
+	}
+	in := core.NewInput(m, c.opts)
 	c.mu.Lock()
 	c.insertLocked(keyFor(tr, sl), in)
 	c.mu.Unlock()

@@ -127,6 +127,13 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	purged := s.cache.PurgeTrace(id, tr.gen)
+	// Release the index last: a disk-backed reslicer holds an open store
+	// file that Close removes. A build still in flight across this close
+	// fails with an error (surfaced as that request's 500) — it can never
+	// read recycled data into a model.
+	if err := tr.resl.Close(); err != nil {
+		s.log.Warn("closing trace index", "trace", id, "error", err)
+	}
 	s.log.Info("trace unloaded", "trace", id, "purged_windows", purged)
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -678,5 +685,5 @@ func (s *Server) handleRender(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleCacheStats(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.cache.Snapshot())
+	writeJSON(w, http.StatusOK, s.CacheStats())
 }

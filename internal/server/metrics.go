@@ -12,7 +12,7 @@ import (
 // the pyramid's zoom hit rate (ocelotl_zoom_derived_total vs
 // ocelotl_zoom_scratch_total) and the cache's pressure counters.
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snap := s.cache.Snapshot()
+	snap := s.CacheStats()
 	type metric struct {
 		name, help, typ string
 		value           int64
@@ -37,6 +37,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ocelotl_cache_entries", "Cached window Inputs resident now.", "gauge", int64(snap.Entries)},
 		{"ocelotl_cache_bytes", "Bytes of cached Input arenas resident now.", "gauge", snap.Bytes},
 		{"ocelotl_cache_budget_bytes", "Configured cache byte budget.", "gauge", snap.BudgetBytes},
+		{"ocelotl_index_bytes", "Event indexes' fixed residency (RAM arrays or disk chunk directories), distinct from Input bytes.", "gauge", snap.IndexBytes},
+		{"ocelotl_index_open_chunk_bytes", "Disk indexes' decoded-chunk cache residency.", "gauge", snap.IndexOpenChunkBytes},
+		{"ocelotl_index_chunks_read_total", "Store chunks fetched and decoded from disk.", "counter", snap.IndexChunksRead},
+		{"ocelotl_index_chunk_hits_total", "Chunk reads served from the decoded-chunk cache.", "counter", snap.IndexChunkHits},
+		{"ocelotl_index_bytes_read_total", "Bytes of chunk payload read from disk.", "counter", snap.IndexBytesRead},
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	for _, m := range metrics {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"ocelotl/internal/eventstore"
 	"ocelotl/internal/microscopic"
 	"ocelotl/internal/trace"
 	"ocelotl/internal/traceio"
@@ -40,6 +41,7 @@ type Info struct {
 	Start     float64  `json:"start"`
 	End       float64  `json:"end"`
 	LoadedAt  string   `json:"loaded_at"`
+	Index     string   `json:"index"` // "ram" or "disk"
 }
 
 // Info renders the trace's metadata.
@@ -54,6 +56,7 @@ func (t *Trace) Info() Info {
 		Start:     start,
 		End:       end,
 		LoadedAt:  t.LoadedAt.UTC().Format(time.RFC3339),
+		Index:     t.resl.IndexKind(),
 	}
 }
 
@@ -66,12 +69,20 @@ type Registry struct {
 	traces map[string]*Trace
 	now    func() time.Time
 	gen    atomic.Uint64
+	// indexOpts selects and tunes the Reslicer index backend for every
+	// Load (zero value: IndexAuto with defaults — RAM below the
+	// threshold, the on-disk store above it).
+	indexOpts microscopic.IndexOptions
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{traces: make(map[string]*Trace), now: time.Now}
 }
+
+// SetIndexOptions configures the index backend used by subsequent Loads
+// (daemon startup, before any trace is loaded).
+func (r *Registry) SetIndexOptions(opt microscopic.IndexOptions) { r.indexOpts = opt }
 
 // Load streams the trace file at path into a Reslicer and registers it
 // under id. Loading an id that already exists is an error (unload first);
@@ -91,11 +102,16 @@ func (r *Registry) Load(id, path string) (*Trace, error) {
 		return nil, err
 	}
 	defer src.Close()
-	resl, err := microscopic.NewReslicerStream(src)
+	resl, err := microscopic.NewReslicerIndexed(src, r.indexOpts)
 	if err != nil {
 		return nil, err
 	}
-	return r.register(&Trace{ID: id, Path: path, resl: resl})
+	t, err := r.register(&Trace{ID: id, Path: path, resl: resl})
+	if err != nil {
+		resl.Close()
+		return nil, err
+	}
+	return t, nil
 }
 
 // LoadTrace registers an in-memory trace (tests and embedders).
@@ -151,4 +167,41 @@ func (r *Registry) List() []Info {
 	r.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
+}
+
+// IndexStats aggregates the loaded traces' index residency and read
+// counters: index bytes (RAM arrays or disk directory — the fixed cost),
+// open-chunk bytes (the disk backends' decoded caches), and the summed
+// store read counters. Reported via /debug/cachestats and /metrics,
+// distinct from Input (cache entry) bytes so the two budgets never
+// double-count.
+func (r *Registry) IndexStats() (indexBytes, openChunkBytes int64, rs eventstore.ReadStats) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, t := range r.traces {
+		indexBytes += t.resl.IndexMemoryBytes()
+		openChunkBytes += t.resl.OpenChunkBytes()
+		st := t.resl.IndexReadStats()
+		rs.ChunksRead += st.ChunksRead
+		rs.BytesRead += st.BytesRead
+		rs.CacheHits += st.CacheHits
+	}
+	return indexBytes, openChunkBytes, rs
+}
+
+// CloseAll unregisters every trace and releases its index (daemon
+// shutdown: disk-backed indexes hold open store files that Close
+// removes). Returns the first close error.
+func (r *Registry) CloseAll() error {
+	r.mu.Lock()
+	traces := r.traces
+	r.traces = make(map[string]*Trace)
+	r.mu.Unlock()
+	var first error
+	for _, t := range traces {
+		if err := t.resl.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

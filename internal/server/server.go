@@ -71,6 +71,7 @@ import (
 
 	"ocelotl/internal/core"
 	"ocelotl/internal/failpoint"
+	"ocelotl/internal/microscopic"
 )
 
 // Config tunes a Server.
@@ -121,6 +122,11 @@ type Config struct {
 	// Logger receives the structured per-request log (default
 	// slog.Default()).
 	Logger *slog.Logger
+	// Index selects and tunes the event-index backend for loaded traces
+	// (the out-of-core path). The zero value is IndexAuto: RAM below the
+	// event threshold, the chunked on-disk store above it — so small
+	// traces keep the fast path and huge ones stop being rejected by RAM.
+	Index microscopic.IndexOptions
 }
 
 // DefaultCacheBytes is the Input-cache budget when Config.CacheBytes is 0.
@@ -193,8 +199,10 @@ func New(cfg Config) *Server {
 		}
 		cache.gate = newBuildGate(capacity, maxQueue)
 	}
+	reg := NewRegistry()
+	reg.SetIndexOptions(cfg.Index)
 	return &Server{
-		reg:          NewRegistry(),
+		reg:          reg,
 		cache:        cache,
 		log:          logger,
 		timeout:      timeout,
@@ -212,8 +220,19 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // Registry exposes the trace registry (preloading at daemon startup).
 func (s *Server) Registry() *Registry { return s.reg }
 
-// CacheStats exposes the cache counters (tests, metrics scrapers).
-func (s *Server) CacheStats() StatsSnapshot { return s.cache.Snapshot() }
+// CacheStats exposes the cache counters plus the registry's index
+// residency and read counters (tests, metrics scrapers,
+// /debug/cachestats).
+func (s *Server) CacheStats() StatsSnapshot {
+	snap := s.cache.Snapshot()
+	ib, ocb, rs := s.reg.IndexStats()
+	snap.IndexBytes = ib
+	snap.IndexOpenChunkBytes = ocb
+	snap.IndexChunksRead = rs.ChunksRead
+	snap.IndexChunkHits = rs.CacheHits
+	snap.IndexBytesRead = rs.BytesRead
+	return snap
+}
 
 // Handler returns the fully assembled HTTP handler: routes, per-request
 // timeout, and structured request logging.

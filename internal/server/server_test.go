@@ -304,7 +304,11 @@ func TestEvictionUnderTinyBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe := core.NewInput(tr.resl.BuildAt(sl), core.Options{})
+	pm, err := tr.resl.BuildAt(sl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := core.NewInput(pm, core.Options{})
 	budget := int64(probe.MemoryBytes()) + 64 // one entry fits, two don't
 
 	c := NewInputCache(budget, core.Options{}, 0)
@@ -356,7 +360,11 @@ func TestDerivedMatchesScratchAtCacheLevel(t *testing.T) {
 		if kind != BuildDerived {
 			t.Fatalf("pan %+d: kind %v, want derived", k, kind)
 		}
-		fresh := core.NewInput(tr.resl.BuildAt(derived.Model.Slicer), core.Options{})
+		fm, err := tr.resl.BuildAt(derived.Model.Slicer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fresh := core.NewInput(fm, core.Options{})
 		dg, dl := derived.RootGainLoss()
 		fg, fl := fresh.RootGainLoss()
 		if dg != fg || dl != fl {

@@ -69,6 +69,19 @@ type StatsSnapshot struct {
 	Entries      int   `json:"entries"`
 	Bytes        int64 `json:"bytes"`
 	BudgetBytes  int64 `json:"budget_bytes"`
+	// The index fields are registry aggregates, filled by
+	// Server.CacheStats (not Stats.snapshot): index bytes are the event
+	// indexes' fixed residency (RAM arrays or disk chunk directory),
+	// open-chunk bytes the disk backends' decoded-chunk caches — both
+	// distinct from Bytes (cached Input arenas), so the byte budget and
+	// the store never double-count. The chunk counters expose window-read
+	// locality: chunks_read is disk fetches, chunk_hits decoded-cache
+	// hits.
+	IndexBytes          int64 `json:"index_bytes"`
+	IndexOpenChunkBytes int64 `json:"index_open_chunk_bytes"`
+	IndexChunksRead     int64 `json:"index_chunks_read"`
+	IndexChunkHits      int64 `json:"index_chunk_hits"`
+	IndexBytesRead      int64 `json:"index_bytes_read"`
 }
 
 func (s *Stats) snapshot() StatsSnapshot {

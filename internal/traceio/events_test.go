@@ -1,0 +1,127 @@
+package traceio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"path/filepath"
+	"testing"
+
+	"ocelotl/internal/trace"
+)
+
+func TestEventsIteratesWholeTrace(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []trace.Event
+	for ev, err := range Events(r) {
+		if err != nil {
+			t.Fatalf("iterator error: %v", err)
+		}
+		got = append(got, ev)
+	}
+	if len(got) != tr.NumEvents() {
+		t.Fatalf("iterated %d events, want %d", len(got), tr.NumEvents())
+	}
+	for i := range got {
+		if got[i] != tr.Events[i] {
+			t.Fatalf("event %d: %+v != %+v", i, got[i], tr.Events[i])
+		}
+	}
+}
+
+func TestEventsEarlyBreak(t *testing.T) {
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	n := 0
+	for _, err := range Events(r) {
+		if err != nil {
+			t.Fatalf("iterator error: %v", err)
+		}
+		n++
+		if n == 2 {
+			break
+		}
+	}
+	if n != 2 {
+		t.Fatalf("broke after %d events, want 2", n)
+	}
+	// The source stays usable: the break did not drain or close it.
+	var ev trace.Event
+	if err := r.Next(&ev); err != nil {
+		t.Fatalf("Next after break: %v", err)
+	}
+}
+
+// TestEventsPreservesCorruptOffset pins the satellite contract: a decode
+// failure surfaces through the iterator unwrapped, so the CorruptError's
+// byte offset reaches the consumer intact.
+func TestEventsPreservesCorruptOffset(t *testing.T) {
+	valid := buildValid(t, FormatBinary)
+	data := valid[:len(valid)-5] // sever the final 18-byte record
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	n := 0
+	for _, err := range Events(r) {
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		n++
+	}
+	if lastErr == nil {
+		t.Fatal("truncated stream iterated to a clean end")
+	}
+	var ce *CorruptError
+	if !errors.As(lastErr, &ce) {
+		t.Fatalf("iterator error %v (%T) is not a CorruptError", lastErr, lastErr)
+	}
+	if ce.Offset < int64(len(data)-18) || ce.Offset > int64(len(data)) {
+		t.Fatalf("CorruptError.Offset = %d not within the severed record [%d,%d]", ce.Offset, len(data)-18, len(data))
+	}
+	if n == 0 {
+		t.Fatal("no events decoded before the severed record")
+	}
+}
+
+func TestEventsEOFOnly(t *testing.T) {
+	// An already-drained source yields nothing, not an io.EOF pair.
+	tr := sampleTrace()
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := WriteFile(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var ev trace.Event
+	for r.Next(&ev) == nil {
+	}
+	for _, err := range Events(r) {
+		if err == io.EOF {
+			t.Fatal("iterator yielded io.EOF")
+		}
+		t.Fatalf("drained source yielded (%v)", err)
+	}
+}

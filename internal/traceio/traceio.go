@@ -22,6 +22,7 @@ import (
 	"compress/gzip"
 	"fmt"
 	"io"
+	"iter"
 	"os"
 	"strings"
 
@@ -262,6 +263,31 @@ func NewReader(r io.Reader) (Reader, error) {
 	return newCSVReader(br)
 }
 
+// Events adapts a streaming source's Next loop to a single-pass range
+// iterator: each yielded pair is either (event, nil) or, exactly once at
+// the end of a failed stream, (zero, err). io.EOF is consumed, not
+// yielded. No `[]Event` is ever materialized, and decode errors pass
+// through unwrapped, so a CorruptError's byte offset survives into the
+// consumer — the store builder reports "trace corrupt at byte N" from
+// the far side of this iterator. The source is NOT closed; callers own
+// its lifetime (break out of the range freely, then Close).
+func Events(src interface{ Next(*trace.Event) error }) iter.Seq2[trace.Event, error] {
+	return func(yield func(trace.Event, error) bool) {
+		var ev trace.Event
+		for {
+			if err := src.Next(&ev); err != nil {
+				if err != io.EOF {
+					yield(trace.Event{}, err)
+				}
+				return
+			}
+			if !yield(ev, nil) {
+				return
+			}
+		}
+	}
+}
+
 // ReadFile decodes a whole trace file into memory.
 func ReadFile(path string) (*trace.Trace, error) {
 	r, err := OpenFile(path)
@@ -271,12 +297,8 @@ func ReadFile(path string) (*trace.Trace, error) {
 	defer r.Close()
 	tr := trace.New(append([]string(nil), r.Resources()...), append([]string(nil), r.States()...))
 	tr.Start, tr.End = r.Window()
-	var ev trace.Event
-	for {
-		if err := r.Next(&ev); err != nil {
-			if err == io.EOF {
-				break
-			}
+	for ev, err := range Events(r) {
+		if err != nil {
 			return nil, err
 		}
 		tr.AddEvent(ev)
@@ -293,14 +315,11 @@ func CountEvents(path string) (int64, error) {
 	}
 	defer r.Close()
 	var n int64
-	var ev trace.Event
-	for {
-		if err := r.Next(&ev); err != nil {
-			if err == io.EOF {
-				return n, nil
-			}
+	for _, err := range Events(r) {
+		if err != nil {
 			return n, err
 		}
 		n++
 	}
+	return n, nil
 }

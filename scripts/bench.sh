@@ -6,9 +6,12 @@
 # in the repo. The suite covers the engine (input pass, Run, the fused
 # multi-p sweeps BenchmarkSweepFused_{K4,K16} vs BenchmarkSweepSingle_K16,
 # the batched dichotomy BenchmarkSignificantPs{,_Batched}, cooperative
-# cancellation), the windowing families (BenchmarkWindowPan/Zoom) and the
-# serving layer (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate
-# request through the HTTP handler per cache build path). A subset of
+# cancellation), the windowing families (BenchmarkWindowPan/Zoom), the
+# out-of-core store (BenchmarkStoreBuild, BenchmarkStoreWindowRead with
+# chunks/op + readB/op, and BenchmarkWindowPan_DiskIndex — the disk twin
+# of the incremental pan) and the serving layer
+# (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate request
+# through the HTTP handler per cache build path). A subset of
 # these are gated against regressions by scripts/benchdiff.sh.
 #
 #   scripts/bench.sh                       # every benchmark, 1 iteration

@@ -42,6 +42,7 @@ BenchmarkSignificantPs_Batched
 BenchmarkSweepFused_K4
 BenchmarkSweepFused_K16
 BenchmarkWindowPan_Incremental
+BenchmarkWindowPan_DiskIndex
 BenchmarkWindowZoom_Incremental
 BenchmarkWindowZoomOut_Incremental
 BenchmarkServerPan_Hit
