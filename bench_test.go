@@ -642,3 +642,103 @@ func BenchmarkTraceIO_GenerateCaseA(b *testing.B) {
 		b.ReportMetric(float64(n), "events")
 	}
 }
+
+// --- Live ingestion (follow mode) -----------------------------------------
+
+// followBenchBatch synthesizes one tick's worth of time-ordered events in
+// [lo, lo+w): the flushed batch a live writer hands the follower.
+func followBenchBatch(tick, n, nRes, nStates int, lo, w float64) []trace.Event {
+	evs := make([]trace.Event, n)
+	step := w / float64(n)
+	for i := range evs {
+		s := lo + float64(i)*step
+		evs[i] = trace.Event{
+			Resource: trace.ResourceID((tick*7 + i) % nRes),
+			State:    trace.StateID((tick + i) % nStates),
+			Start:    s,
+			End:      s + 2*step,
+		}
+	}
+	return evs
+}
+
+// followBenchSetup builds the steady-state follow scenario: a reslicer
+// over one live window's worth of history and the window's Input.
+func followBenchSetup(b *testing.B) (*microscopic.Reslicer, *core.Input, *trace.Trace) {
+	b.Helper()
+	const (
+		slices  = 30
+		width   = 1.0
+		perTick = 2000
+	)
+	res := make([]string, 16)
+	for i := range res {
+		res[i] = fmt.Sprintf("h/r%d", i)
+	}
+	tr := trace.New(res, []string{"run", "wait", "io"})
+	tr.Start, tr.End = 0, slices*width
+	for tick := 0; tick < slices; tick++ {
+		for _, e := range followBenchBatch(tick, perTick, len(res), 3, float64(tick)*width, width) {
+			tr.Add(e.Resource, e.State, e.Start, e.End)
+		}
+	}
+	r, err := microscopic.NewReslicer(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := r.Build(microscopic.Options{Slices: slices})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, core.NewInput(m, core.Options{}), tr
+}
+
+// BenchmarkFollowTick is one steady-state live-ingestion tick at the
+// engine level: Extend the event index by one slice worth of freshly
+// flushed events, then advance the live window's Input one slice — the
+// incremental path ocelotld's follower takes every poll. Gated by
+// scripts/benchdiff.sh: this latency bounds how fast a trace can be
+// ingested while staying interactive.
+func BenchmarkFollowTick(b *testing.B) {
+	resl, in, tr := followBenchSetup(b)
+	ctx := context.Background()
+	w := in.Model.Slicer.Width()
+	end := tr.End
+	b.ResetTimer()
+	var err error
+	for i := 0; i < b.N; i++ {
+		batch := followBenchBatch(30+i, 2000, len(tr.Resources), len(tr.States), end, w)
+		end += w
+		if resl, err = resl.Extend(batch, batch[len(batch)-1].Start); err != nil {
+			b.Fatal(err)
+		}
+		if in, err = in.AdvanceContext(ctx, resl, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFollowTick_Rebuild serves the same advancing window the naive
+// way — a scratch model build + Input per tick — the comparator for the
+// O(Δ slices) claim.
+func BenchmarkFollowTick_Rebuild(b *testing.B) {
+	resl, in, tr := followBenchSetup(b)
+	w := in.Model.Slicer.Width()
+	sl := in.Model.Slicer
+	end := tr.End
+	b.ResetTimer()
+	var err error
+	for i := 0; i < b.N; i++ {
+		batch := followBenchBatch(30+i, 2000, len(tr.Resources), len(tr.States), end, w)
+		end += w
+		if resl, err = resl.Extend(batch, batch[len(batch)-1].Start); err != nil {
+			b.Fatal(err)
+		}
+		sl = sl.Shift(1)
+		m, err := resl.BuildAt(sl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		core.NewInput(m, core.Options{})
+	}
+}

@@ -16,6 +16,13 @@
 // engine (microscopic.Reslicer + core.Input.Update): each step reports its
 // latency and how many slices it reused, and the report/render is produced
 // on the final window.
+//
+// -follow tails a trace that is still being written (for example by
+// tracegen -append-every) and re-aggregates a sliding window each poll
+// tick through the same incremental engine, printing one summary line per
+// tick:
+//
+//	ocelotl -trace growing.bin -follow -p 0.35 -follow-idle 2s
 package main
 
 import (
@@ -40,6 +47,8 @@ import (
 	"ocelotl/internal/render"
 	"ocelotl/internal/spatial"
 	"ocelotl/internal/temporal"
+	"ocelotl/internal/timeslice"
+	"ocelotl/internal/trace"
 	"ocelotl/internal/traceio"
 )
 
@@ -66,6 +75,10 @@ func main() {
 		panSeq    = flag.String("pan", "", "replay comma-separated slice shifts incrementally after -zoom steps (e.g. 1,1,-3)")
 		zoomSeq   = flag.String("zoom", "", "replay comma-separated lo:hi slice-range zooms incrementally (e.g. 10:20,2:7)")
 		indexName = flag.String("index", "auto", "event index backend: auto (RAM below threshold, disk above), ram, disk")
+
+		follow     = flag.Bool("follow", false, "live mode: tail -trace while it is being written, re-aggregating a sliding window each poll tick (stop with Ctrl-C or -follow-idle)")
+		followPoll = flag.Duration("follow-poll", 200*time.Millisecond, "follow mode: tail poll interval")
+		followIdle = flag.Duration("follow-idle", 0, "follow mode: exit once no new events arrive for this long (0 = run until interrupted)")
 	)
 	flag.Parse()
 
@@ -79,6 +92,16 @@ func main() {
 	// next node-level check instead of running the analysis to completion.
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
+
+	if *follow {
+		if *tracePath == "" {
+			fatal(fmt.Errorf("-follow needs -trace FILE"))
+		}
+		if err := runFollow(ctx, os.Stdout, *tracePath, *slices, *p, *mode, *normalize, indexMode, *followPoll, *followIdle); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	replaying := *panSeq != "" || *zoomSeq != ""
 	m, cleanup, err := loadModel(*tracePath, *caseName, *scale, *seed, *slices, *from, *to, replaying, indexMode)
@@ -258,6 +281,172 @@ func replayWindow(log io.Writer, in *core.Input, zoomSpec, panSpec string) (*cor
 		}
 	}
 	return in, nil
+}
+
+// runFollow is the CLI face of live ingestion: tail the trace file while
+// a writer appends to it, extend the event index copy-on-write each poll
+// tick (traceio.TailReader → microscopic.Reslicer.Extend), slide a
+// slices-wide window to the ingestion horizon, and re-aggregate it
+// incrementally (core.Input.Advance — O(Δ slices) per tick). One summary
+// line per tick that carried events.
+func runFollow(ctx context.Context, w io.Writer, path string, slices int, p float64, mode string, normalize bool, indexMode microscopic.IndexMode, poll, idle time.Duration) error {
+	var tail *traceio.TailReader
+	for {
+		var err error
+		tail, err = traceio.OpenTail(path)
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) && !traceio.IsIncomplete(err) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(poll):
+		}
+	}
+	defer tail.Close()
+
+	hdrStart, hdrEnd := tail.Window()
+	horizon := hdrStart
+	var events []trace.Event
+	readBatch := func() (int, error) {
+		n := 0
+		var ev trace.Event
+		for n < 1<<18 {
+			if err := tail.Next(&ev); err != nil {
+				if traceio.IsIncomplete(err) {
+					return n, nil
+				}
+				return n, err
+			}
+			if ev.Start > horizon {
+				horizon = ev.Start
+			}
+			events = append(events, ev)
+			n++
+		}
+		return n, nil
+	}
+	if _, err := readBatch(); err != nil {
+		return err
+	}
+
+	width := 1.0
+	if hdrEnd > hdrStart {
+		width = (hdrEnd - hdrStart) / float64(slices)
+	}
+	anchor, err := timeslice.New(hdrStart, hdrStart+float64(slices)*width, slices)
+	if err != nil {
+		return err
+	}
+	// livePan positions the window so its end is the last slice boundary
+	// at or below the horizon — every slice shown is fully ingested.
+	livePan := func(h float64) int {
+		pan := int((h-anchor.Start)/anchor.Width()) - anchor.N
+		if pan < -anchor.N {
+			pan = -anchor.N
+		}
+		for pan > -anchor.N && anchor.Shift(pan).End > h {
+			pan--
+		}
+		for anchor.Shift(pan+1).End <= h {
+			pan++
+		}
+		return pan
+	}
+
+	resl, err := microscopic.NewReslicerIndexed(
+		microscopic.TraceSource(&trace.Trace{Resources: tail.Resources(), States: tail.States(), Events: events, Start: hdrStart, End: horizon}),
+		microscopic.IndexOptions{Mode: indexMode})
+	if err != nil {
+		return err
+	}
+	defer func() { resl.Close() }()
+	events = nil
+
+	pan := livePan(horizon)
+	m, err := resl.BuildAt(anchor.Shift(pan))
+	if err != nil {
+		return err
+	}
+	in, err := core.NewInputContext(ctx, m, core.Options{Normalize: normalize})
+	if err != nil {
+		return err
+	}
+
+	tick := 0
+	total := resl.NumEvents()
+	report := func() error {
+		pt, err := runMode(ctx, in.Model, in, mode, p)
+		if err != nil {
+			return err
+		}
+		sl := in.Model.Slicer
+		_, err = fmt.Fprintf(w, "tick %4d  events %9d  horizon %12.6g  window [%.6g,%.6g)  areas %4d  gain %12.4f  loss %12.4f\n",
+			tick, total, horizon, sl.Start, sl.End, len(pt.Areas), pt.Gain, pt.Loss)
+		return err
+	}
+	if err := report(); err != nil {
+		return err
+	}
+
+	lastData := time.Now()
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+		}
+		prevHorizon := horizon
+		n, err := readBatch()
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			if idle > 0 && time.Since(lastData) > idle {
+				return nil
+			}
+			continue
+		}
+		lastData = time.Now()
+		reorder := false
+		for _, ev := range events {
+			if ev.Start < prevHorizon {
+				reorder = true
+				break
+			}
+		}
+		next, err := resl.Extend(events, horizon)
+		if err != nil {
+			return err
+		}
+		resl = next // old snapshots stay readable; the deferred Close releases the newest (shared) index once
+		total = resl.NumEvents()
+		events = events[:0]
+		npan := livePan(horizon)
+		switch {
+		case reorder:
+			if m, err = resl.BuildAt(anchor.Shift(npan)); err != nil {
+				return err
+			}
+			if in, err = core.NewInputContext(ctx, m, core.Options{Normalize: normalize}); err != nil {
+				return err
+			}
+		case npan > pan:
+			if in, err = in.AdvanceContext(ctx, resl, npan-pan); err != nil {
+				return err
+			}
+		}
+		pan = npan
+		tick++
+		if err := report(); err != nil {
+			return err
+		}
+	}
 }
 
 func runMode(ctx context.Context, m *microscopic.Model, in *core.Input, mode string, p float64) (*partition.Partition, error) {

@@ -11,11 +11,14 @@
 //
 //	ocelotld -addr :8087 -cache-mb 256
 //	ocelotld -load caseA=caseA.bin -load run7=run7.csv.gz
+//	ocelotld -follow live=still-running.bin
 //
 // Then, for example:
 //
 //	curl -X POST -d '{"id":"a","path":"caseA.bin"}' localhost:8087/traces
+//	curl -X POST -d '{"id":"b","path":"growing.bin","follow":true}' localhost:8087/traces
 //	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30'
+//	curl 'localhost:8087/traces/b/aggregate?p=0.35&live=1'
 //	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30&pan=3'
 //	curl 'localhost:8087/traces/a/aggregate?p=0.35&slices=30&lo=2.5&hi=4.5&refine=1'
 //	curl localhost:8087/debug/cachestats
@@ -98,6 +101,14 @@ func main() {
 		preloads = append(preloads, v)
 		return nil
 	})
+	var follows []string
+	flag.Func("follow", "preload a trace in follow mode as id=path: the file may still be written; the daemon tails it and serves a sliding live window (repeatable)", func(v string) error {
+		if !strings.Contains(v, "=") {
+			return fmt.Errorf("want id=path, got %q", v)
+		}
+		follows = append(follows, v)
+		return nil
+	})
 	var failpoints []string
 	flag.Func("failpoint", "arm a failpoint as name=spec, e.g. 'server/flight=10%error(chaos)' (repeatable; chaos testing only)", func(v string) error {
 		if !strings.Contains(v, "=") {
@@ -153,6 +164,15 @@ func main() {
 		}
 		logger.Info("preloaded", "trace", tr.ID, "path", path, "events", tr.Events)
 	}
+	for _, spec := range follows {
+		id, path, _ := strings.Cut(spec, "=")
+		tr, err := srv.FollowTrace(context.Background(), id, path)
+		if err != nil {
+			logger.Error("follow preload failed", "spec", spec, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("following", "trace", tr.ID, "path", path, "events", tr.Events)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -191,8 +211,10 @@ func main() {
 		logger.Error("server failed", "error", err)
 		os.Exit(1)
 	}
-	// In-flight requests have drained; release the event indexes so
+	// Stop the follow-mode ingestion loops before releasing the indexes
+	// they publish snapshots of, then release the event indexes so
 	// disk-backed traces remove their temporary store files.
+	srv.StopFollowers()
 	if err := srv.Registry().CloseAll(); err != nil {
 		logger.Error("closing trace indexes", "error", err)
 		os.Exit(1)

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"ocelotl/internal/grid5000"
@@ -32,6 +33,9 @@ func main() {
 		seed      = flag.Int64("seed", 42, "simulation seed")
 		out       = flag.String("out", "", "output file (.csv, .bin, optionally .gz); required")
 		noPerturb = flag.Bool("no-perturb", false, "disable anomaly injection")
+
+		appendEvery    = flag.Int("append-every", 0, "incremental mode: flush the file after every N events, time-sorted (exercises live ingestion / follow mode)")
+		appendInterval = flag.Duration("append-interval", 0, "incremental mode: sleep this long between flushed batches")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -57,7 +61,9 @@ func main() {
 	start := time.Now()
 	var n int64
 	var perts []mpisim.Perturbation
-	if *events > 0 {
+	if *appendEvery > 0 {
+		perts, n, err = writeIncremental(w, sc, cfg, *events, *appendEvery, *appendInterval)
+	} else if *events > 0 {
 		err = streamExact(sc, *events, func(ev trace.Event) error {
 			n++
 			return w.WriteEvent(ev)
@@ -85,6 +91,48 @@ func main() {
 	for _, p := range perts {
 		fmt.Printf("ground truth: %-18s %8.2fs – %8.2fs  %d ranks\n", p.Kind, p.Start, p.End, len(p.Ranks))
 	}
+}
+
+// writeIncremental is the live-ingestion exercise mode: it materializes
+// the whole run, sorts it by event start, then appends it to the (already
+// created, header-flushed) file in flushed batches of every events,
+// sleeping interval between batches. Time-sorting matters: it makes every
+// flushed prefix a time-prefix of the final trace, which is the write
+// discipline a follow-mode reader's cache consistency leans on (the
+// generators emit per-rank, not in time order). The final file is
+// byte-comparable event-wise to a plain run over the same seed after the
+// same sort.
+func writeIncremental(w traceio.Writer, sc grid5000.Scenario, cfg mpisim.Config, events int64, every int, interval time.Duration) ([]mpisim.Perturbation, int64, error) {
+	var all []trace.Event
+	var perts []mpisim.Perturbation
+	var err error
+	collect := func(ev trace.Event) error { all = append(all, ev); return nil }
+	if events > 0 {
+		err = streamExact(sc, events, collect)
+	} else {
+		perts, err = mpisim.GenerateStream(sc, cfg, collect)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Start < all[j].Start })
+	if err := traceio.Flush(w); err != nil { // header first: followers need it before any event
+		return nil, 0, err
+	}
+	for i, ev := range all {
+		if err := w.WriteEvent(ev); err != nil {
+			return nil, int64(i), err
+		}
+		if (i+1)%every == 0 {
+			if err := traceio.Flush(w); err != nil {
+				return nil, int64(i + 1), err
+			}
+			if interval > 0 {
+				time.Sleep(interval)
+			}
+		}
+	}
+	return perts, int64(len(all)), nil
 }
 
 // streamExact emits exactly n synthetic events without materializing any

@@ -35,6 +35,14 @@
 // struct-of-arrays), and everything above (core, server, the CLIs)
 // selects a backend without seeing this package.
 //
+// A store file is sealed: chunks are immutable once the builder commits
+// the directory, which is what makes CRC-per-chunk durability and
+// lock-free concurrent reads cheap. Live ingestion (follow mode) does
+// not break that seal — microscopic.Reslicer.Extend layers a RAM
+// overlay of the appended events over the sealed store and merges the
+// two streams in the contract order at read time, so the disk backend
+// serves a growing trace without rewriting a byte of the store file.
+//
 // Durability: every open validates the header magic/version and the
 // directory+meta checksum, and every chunk read validates its CRC;
 // truncated files, flipped bytes and version skew all fail loud with

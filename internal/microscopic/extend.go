@@ -1,0 +1,180 @@
+package microscopic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ocelotl/internal/eventstore"
+	"ocelotl/internal/failpoint"
+	"ocelotl/internal/trace"
+)
+
+// FailpointExtend names the fault-injection site at the head of every
+// Extend — the append half of the live-ingestion path (chaos tests arm it
+// together with traceio/tail).
+const FailpointExtend = "microscopic/extend"
+
+// Extend returns a Reslicer that additionally indexes events appended to
+// the trace, with the observation window grown to newEnd. The receiver is
+// untouched — extension is copy-on-write, so snapshots held by in-flight
+// queries keep filling from exactly the events they were built over — and
+// the two share everything the new events don't touch (the hierarchy, the
+// untouched leaves' arrays, the on-disk store).
+//
+// The fill-order invariant is preserved exactly as if the appended events
+// had been part of the original stream: a chain of Extends is
+// bit-identical to one NewReslicer over the concatenated events (the
+// per-leaf order is a stable merge by start, and stable-sorting a
+// concatenation equals stably merging the stably-sorted parts). Events
+// may land anywhere in time — ingestion order, not time order, is what
+// the invariant keys on — though callers that cache windows will want
+// time-ordered appends (see the server's horizon rule).
+//
+// For disk-backed reslicers the appended events live in a RAM overlay on
+// top of the sealed store; fills stream-merge the two sides. A follow
+// tick's batch is small, so the overlay stays a fraction of the store it
+// shadows.
+//
+// Closing either the receiver or the extension closes the shared backing
+// store (disk backend); close at most one of them, when no snapshot is in
+// use — the server keeps only the newest snapshot closeable for exactly
+// this reason.
+func (r *Reslicer) Extend(events []trace.Event, newEnd float64) (*Reslicer, error) {
+	if err := failpoint.Inject(FailpointExtend); err != nil {
+		return nil, fmt.Errorf("microscopic: extend: %w", err)
+	}
+	if math.IsNaN(newEnd) || newEnd < r.winEnd {
+		return nil, fmt.Errorf("microscopic: extend: new end %g shrinks the window (current end %g)", newEnd, r.winEnd)
+	}
+	if r.r2leaf == nil {
+		return nil, fmt.Errorf("microscopic: extend: reslicer was built without a resource map")
+	}
+	nr := &Reslicer{
+		h:        r.h,
+		states:   r.states,
+		winStart: r.winStart,
+		winEnd:   newEnd,
+		r2leaf:   r.r2leaf,
+		idx:      r.idx,
+	}
+	if len(events) == 0 {
+		return nr, nil
+	}
+	tmp := make([][]indexedEvent, r.h.NumLeaves())
+	for _, e := range events {
+		if err := indexEvent(tmp, r.r2leaf, len(r.states), e); err != nil {
+			return nil, err
+		}
+	}
+	idx, err := r.idx.extend(tmp)
+	if err != nil {
+		return nil, err
+	}
+	nr.idx = idx
+	return nr, nil
+}
+
+// extend merges the new events into fresh per-leaf arrays, sharing the
+// untouched leaves' slices with the receiver. Existing events win start
+// ties (they are earlier in the stream), which is what makes the merge a
+// stable one.
+func (ix *ramIndex) extend(tmp [][]indexedEvent) (eventIndex, error) {
+	nx := &ramIndex{
+		evStart:  make([][]float64, len(ix.evStart)),
+		evEnd:    make([][]float64, len(ix.evEnd)),
+		evState:  make([][]int32, len(ix.evState)),
+		evMaxEnd: make([][]float64, len(ix.evMaxEnd)),
+	}
+	for s := range ix.evStart {
+		evs := tmp[s]
+		if len(evs) == 0 {
+			nx.evStart[s], nx.evEnd[s], nx.evState[s], nx.evMaxEnd[s] =
+				ix.evStart[s], ix.evEnd[s], ix.evState[s], ix.evMaxEnd[s]
+			continue
+		}
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].start < evs[j].start })
+		oldS, oldE, oldSt := ix.evStart[s], ix.evEnd[s], ix.evState[s]
+		n := len(oldS) + len(evs)
+		starts := make([]float64, n)
+		ends := make([]float64, n)
+		states := make([]int32, n)
+		maxEnd := make([]float64, n)
+		i, j := 0, 0
+		for k := 0; k < n; k++ {
+			if i < len(oldS) && (j >= len(evs) || oldS[i] <= evs[j].start) {
+				starts[k], ends[k], states[k] = oldS[i], oldE[i], oldSt[i]
+				i++
+			} else {
+				starts[k], ends[k], states[k] = evs[j].start, evs[j].end, evs[j].state
+				j++
+			}
+		}
+		running := 0.0
+		for k := 0; k < n; k++ {
+			if k == 0 || ends[k] > running {
+				running = ends[k]
+			}
+			maxEnd[k] = running
+		}
+		nx.evStart[s], nx.evEnd[s], nx.evState[s], nx.evMaxEnd[s] = starts, ends, states, maxEnd
+	}
+	return nx, nil
+}
+
+// extend stacks a RAM overlay on the sealed store.
+func (ix *diskIndex) extend(tmp [][]indexedEvent) (eventIndex, error) {
+	return &overlayIndex{base: ix, tail: freezeRAM(tmp)}, nil
+}
+
+// extend merges into the overlay's RAM tail; the store stays shared.
+func (ix *overlayIndex) extend(tmp [][]indexedEvent) (eventIndex, error) {
+	tail, err := ix.tail.extend(tmp)
+	if err != nil {
+		return nil, err
+	}
+	return &overlayIndex{base: ix.base, tail: tail.(*ramIndex)}, nil
+}
+
+// overlayIndex layers live appended events (a ramIndex tail) over a
+// sealed base index — how a disk-backed reslicer grows without rewriting
+// its store. fill stream-merges the two sides back into the global
+// (start, stream order) order the bit-identity invariant demands: the
+// base is the stream prefix, so its events win start ties.
+type overlayIndex struct {
+	base eventIndex
+	tail *ramIndex
+}
+
+func (ix *overlayIndex) fill(leaf int, winLo, winHi float64, visit func(state int32, start, end float64)) error {
+	starts, ends, states, maxEnd := ix.tail.evStart[leaf], ix.tail.evEnd[leaf], ix.tail.evState[leaf], ix.tail.evMaxEnd[leaf]
+	j1 := sort.SearchFloat64s(starts, winHi)
+	j := sort.Search(j1, func(i int) bool { return maxEnd[i] > winLo })
+	// emitTailBefore flushes tail events with start strictly below limit
+	// (strict: the base wins ties, it is earlier in the stream).
+	emitTailBefore := func(limit float64) {
+		for j < j1 && starts[j] < limit {
+			if ends[j] > winLo {
+				visit(states[j], starts[j], ends[j])
+			}
+			j++
+		}
+	}
+	if err := ix.base.fill(leaf, winLo, winHi, func(state int32, start, end float64) {
+		emitTailBefore(start)
+		visit(state, start, end)
+	}); err != nil {
+		return err
+	}
+	emitTailBefore(math.Inf(1))
+	return nil
+}
+
+func (ix *overlayIndex) numEvents() int64 { return ix.base.numEvents() + ix.tail.numEvents() }
+func (ix *overlayIndex) memoryBytes() int64 {
+	return ix.base.memoryBytes() + ix.tail.memoryBytes()
+}
+func (ix *overlayIndex) openChunkBytes() int64           { return ix.base.openChunkBytes() }
+func (ix *overlayIndex) kind() string                    { return ix.base.kind() }
+func (ix *overlayIndex) readStats() eventstore.ReadStats { return ix.base.readStats() }
+func (ix *overlayIndex) close() error                    { return ix.base.close() }

@@ -1,0 +1,245 @@
+package microscopic
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"ocelotl/internal/timeslice"
+	"ocelotl/internal/trace"
+)
+
+// chainExtend builds a reslicer over the first cut of tr's events and
+// Extends it with the remaining cuts one batch at a time, returning every
+// intermediate snapshot (snapshots[i] indexes tr.Events[:cuts[i]]).
+func chainExtend(t *testing.T, tr *trace.Trace, cuts []int, opt IndexOptions) []*Reslicer {
+	t.Helper()
+	prefix := &trace.Trace{Resources: tr.Resources, States: tr.States,
+		Events: tr.Events[:cuts[0]], Start: tr.Start, End: tr.End}
+	r, err := NewReslicerIndexed(TraceSource(prefix), opt)
+	if err != nil {
+		t.Fatalf("NewReslicerIndexed(prefix): %v", err)
+	}
+	snaps := []*Reslicer{r}
+	for i := 1; i < len(cuts); i++ {
+		r, err = r.Extend(tr.Events[cuts[i-1]:cuts[i]], tr.End)
+		if err != nil {
+			t.Fatalf("Extend(batch %d): %v", i, err)
+		}
+		snaps = append(snaps, r)
+	}
+	return snaps
+}
+
+// randomCuts splits [0, n] into 1–8 increasing cut points ending at n
+// (batch sizes vary from empty to large).
+func randomCuts(rng *rand.Rand, n int) []int {
+	k := 1 + rng.Intn(8)
+	cuts := make([]int, k)
+	for i := 0; i < k-1; i++ {
+		cuts[i] = rng.Intn(n + 1)
+	}
+	cuts[k-1] = n
+	for i := 1; i < k; i++ { // make non-decreasing in place
+		if cuts[i] < cuts[i-1] {
+			cuts[i] = cuts[i-1]
+		}
+	}
+	return cuts
+}
+
+// TestExtendChainBitIdentical is the live-ingestion correctness property:
+// any chain of Extends is bit-identical to a one-shot build over the
+// concatenated events — models built at arbitrary windows agree cell for
+// cell — on both the RAM and the disk index backends.
+func TestExtendChainBitIdentical(t *testing.T) {
+	backends := []struct {
+		name string
+		opt  func() IndexOptions
+	}{
+		{"ram", func() IndexOptions { return IndexOptions{Mode: IndexRAM} }},
+		{"disk", func() IndexOptions { return IndexOptions{Mode: IndexDisk, Dir: t.TempDir()} }},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			for trial := 0; trial < 6; trial++ {
+				tr := randomTrace(rng, 5, 400, 10)
+				cuts := randomCuts(rng, len(tr.Events))
+
+				oneShot, err := NewReslicerIndexed(TraceSource(tr), b.opt())
+				if err != nil {
+					t.Fatal(err)
+				}
+				snaps := chainExtend(t, tr, cuts, b.opt())
+				chained := snaps[len(snaps)-1]
+
+				if got, want := chained.NumEvents(), oneShot.NumEvents(); got != want {
+					t.Fatalf("trial %d: chained NumEvents = %d, one-shot = %d", trial, got, want)
+				}
+				windows := []timeslice.Slicer{
+					mustSlicer(t, 0, 10, 16),
+					mustSlicer(t, 2.5, 7.5, 9),
+					mustSlicer(t, 0, 10, 16).Shift(3),
+				}
+				for _, sl := range windows {
+					got := mustBuildAt(t, chained, sl)
+					want := mustBuildAt(t, oneShot, sl)
+					modelsBitIdentical(t, got, want, "chained vs one-shot")
+				}
+				// Closing only the newest snapshot releases the shared
+				// backing store exactly once.
+				if err := chained.Close(); err != nil {
+					t.Fatalf("Close(chained): %v", err)
+				}
+				oneShot.Close()
+			}
+		})
+	}
+}
+
+// TestExtendSnapshotIsolation: Extend is copy-on-write — a snapshot keeps
+// filling from exactly the events it was built over, even after later
+// snapshots grow past it.
+func TestExtendSnapshotIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := randomTrace(rng, 4, 300, 10)
+	cuts := []int{100, 200, 300}
+	snaps := chainExtend(t, tr, cuts, IndexOptions{Mode: IndexRAM})
+
+	sl := mustSlicer(t, 0, 10, 12)
+	before := mustBuildAt(t, snaps[0], sl)
+	// Extend again off the middle snapshot; the first must not notice.
+	if _, err := snaps[1].Extend(tr.Events[:50], tr.End); err != nil {
+		t.Fatalf("Extend off middle snapshot: %v", err)
+	}
+	after := mustBuildAt(t, snaps[0], sl)
+	modelsBitIdentical(t, after, before, "snapshot after later Extends")
+
+	for i, cut := range cuts {
+		if got := snaps[i].NumEvents(); got != cut {
+			t.Errorf("snapshot %d: NumEvents = %d, want %d", i, got, cut)
+		}
+	}
+}
+
+// TestExtendConcurrentReads drives BuildAt on earlier snapshots while the
+// chain keeps extending — the copy-on-write contract under the race
+// detector, on both backends.
+func TestExtendConcurrentReads(t *testing.T) {
+	for _, b := range []struct {
+		name string
+		opt  IndexOptions
+	}{
+		{"ram", IndexOptions{Mode: IndexRAM}},
+		{"disk", IndexOptions{Mode: IndexDisk, Dir: t.TempDir()}},
+	} {
+		t.Run(b.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(13))
+			tr := randomTrace(rng, 5, 2000, 10)
+			prefix := &trace.Trace{Resources: tr.Resources, States: tr.States,
+				Events: tr.Events[:200], Start: tr.Start, End: tr.End}
+			r, err := NewReslicerIndexed(TraceSource(prefix), b.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sl := mustSlicer(t, 0, 10, 8)
+
+			var wg sync.WaitGroup
+			cur := r
+			for next := 300; next <= len(tr.Events); next += 100 {
+				snap := cur
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for i := 0; i < 3; i++ {
+						if _, err := snap.BuildAt(sl); err != nil {
+							t.Errorf("concurrent BuildAt: %v", err)
+							return
+						}
+					}
+				}()
+				cur, err = cur.Extend(tr.Events[next-100:next], tr.End)
+				if err != nil {
+					t.Fatalf("Extend: %v", err)
+				}
+			}
+			wg.Wait()
+			got := mustBuildAt(t, cur, sl)
+			oneShot, err := NewReslicerIndexed(TraceSource(tr), b.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := mustBuildAt(t, oneShot, sl)
+			modelsBitIdentical(t, got, want, "after concurrent extends")
+			cur.Close() // newest snapshot owns the shared store
+			oneShot.Close()
+		})
+	}
+}
+
+// TestExtendErrors: window shrinks, NaN ends, and out-of-table events are
+// refused without corrupting the receiver.
+func TestExtendErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tr := randomTrace(rng, 3, 50, 10)
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Extend(nil, 5); err == nil {
+		t.Error("Extend to a smaller window: want error")
+	}
+	if _, err := r.Extend(nil, nan()); err == nil {
+		t.Error("Extend to NaN: want error")
+	}
+	bad := []trace.Event{{Resource: 99, State: 0, Start: 1, End: 2}}
+	if _, err := r.Extend(bad, 12); err == nil {
+		t.Error("Extend with unknown resource: want error")
+	}
+	bad[0] = trace.Event{Resource: 0, State: 99, Start: 1, End: 2}
+	if _, err := r.Extend(bad, 12); err == nil {
+		t.Error("Extend with unknown state: want error")
+	}
+	// The receiver still works after refused extends.
+	mustBuildAt(t, r, mustSlicer(t, 0, 10, 8))
+}
+
+// TestExtendEmptyBatch grows the window without events: same index, new
+// bounds, usable immediately.
+func TestExtendEmptyBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tr := randomTrace(rng, 3, 80, 10)
+	r, err := NewReslicer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nr, err := r.Extend(nil, 14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.NumEvents() != r.NumEvents() {
+		t.Errorf("NumEvents changed: %d vs %d", nr.NumEvents(), r.NumEvents())
+	}
+	if _, end := nr.TraceWindow(); end != 14 {
+		t.Errorf("window end = %v, want 14", end)
+	}
+	modelsBitIdentical(t,
+		mustBuildAt(t, nr, mustSlicer(t, 0, 10, 8)),
+		mustBuildAt(t, r, mustSlicer(t, 0, 10, 8)),
+		"empty extend")
+}
+
+func mustSlicer(t *testing.T, lo, hi float64, n int) timeslice.Slicer {
+	t.Helper()
+	sl, err := timeslice.New(lo, hi, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sl
+}
+
+func nan() float64 {
+	var z float64
+	return z / z
+}

@@ -34,6 +34,12 @@ type eventIndex interface {
 	kind() string
 	readStats() eventstore.ReadStats
 	close() error
+	// extend returns an index that additionally holds the events in tmp
+	// (per-leaf buckets in stream order), preserving the fill-order
+	// invariant as if the new events had been appended to the original
+	// stream. The receiver stays valid and unchanged — extension is
+	// copy-on-write, so concurrent fills on the old index never race.
+	extend(tmp [][]indexedEvent) (eventIndex, error)
 }
 
 // IndexMode selects the Reslicer's index backend.
@@ -235,6 +241,7 @@ func NewReslicerIndexed(src EventSource, opt IndexOptions) (*Reslicer, error) {
 		states:   append([]string(nil), states...),
 		winStart: start,
 		winEnd:   end,
+		r2leaf:   r2leaf,
 	}
 
 	var (

@@ -44,6 +44,10 @@ type Reslicer struct {
 	states []string
 	// Observation window of the underlying trace.
 	winStart, winEnd float64
+	// r2leaf maps trace resource IDs to hierarchy leaves — retained so
+	// Extend can validate and route appended events exactly like the
+	// constructors did.
+	r2leaf []int
 
 	idx eventIndex
 }
@@ -69,6 +73,7 @@ func NewReslicer(tr *trace.Trace) (*Reslicer, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.r2leaf = r2leaf
 	tmp := make([][]indexedEvent, h.NumLeaves())
 	for _, e := range tr.Events {
 		if err := indexEvent(tmp, r2leaf, len(tr.States), e); err != nil {

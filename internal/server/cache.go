@@ -650,6 +650,19 @@ func (c *InputCache) insertLocked(key windowKey, in *core.Input) {
 	c.evictToBudgetLocked()
 }
 
+// Seed inserts an already-built Input under its own window key — the
+// follower's per-tick publish of the live window, so the first query
+// after a tick is a plain hit. Subject to the same admission rules as a
+// miss-path insert (budget, purge floor, ladder accounting).
+func (c *InputCache) Seed(tr *Trace, in *core.Input) {
+	if in == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.insertLocked(keyFor(tr, in.Model.Slicer), in)
+}
+
 // refreshLocked re-reads an entry's byte cost (it grows as the Input's
 // bounded solver pool warms up) and reruns eviction if the total
 // overflows; the refreshed entry sits at the LRU front, so it is never

@@ -1,0 +1,507 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"ocelotl/internal/failpoint"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/testutil"
+	"ocelotl/internal/trace"
+	"ocelotl/internal/traceio"
+)
+
+// followEvents returns n deterministic time-ordered events over the
+// followHeader tables — the stream a live writer flushes in prefixes.
+func followEvents(n int) []trace.Event {
+	evs := make([]trace.Event, n)
+	for i := range evs {
+		s := float64(i) * 0.02
+		evs[i] = trace.Event{Resource: trace.ResourceID(i % 3), State: trace.StateID(i % 2),
+			Start: s, End: s + 0.05}
+	}
+	return evs
+}
+
+func followHeader() traceio.Header {
+	return traceio.Header{Resources: []string{"A/a0", "A/a1", "B/b0"},
+		States: []string{"run", "wait"}, Start: 0, End: 10}
+}
+
+// liveWriter appends flushed batches to a trace file the way a live
+// tracer would, keeping the stream open between batches.
+type liveWriter struct {
+	t *testing.T
+	f *os.File
+	w traceio.Writer
+}
+
+func newLiveWriter(t *testing.T, path string) *liveWriter {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := traceio.NewWriter(f, traceio.FormatBinary, followHeader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := traceio.Flush(w); err != nil {
+		t.Fatal(err)
+	}
+	lw := &liveWriter{t: t, f: f, w: w}
+	t.Cleanup(func() { lw.f.Close() })
+	return lw
+}
+
+func (lw *liveWriter) append(evs []trace.Event) {
+	lw.t.Helper()
+	for _, e := range evs {
+		if err := lw.w.WriteEvent(e); err != nil {
+			lw.t.Fatal(err)
+		}
+	}
+	if err := traceio.Flush(lw.w); err != nil {
+		lw.t.Fatal(err)
+	}
+}
+
+// followLoad POSTs a follow-mode load and returns the created Info.
+func followLoad(t *testing.T, ts *httptest.Server, id, path string, pollMs int) Info {
+	t.Helper()
+	body, _ := json.Marshal(loadRequest{ID: id, Path: path, Follow: true,
+		PollMs: pollMs, LiveSlices: 10})
+	resp, err := http.Post(ts.URL+"/traces", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := readAll(resp)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("follow load: status %d (%s)", resp.StatusCode, raw)
+	}
+	var info Info
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Follow == nil {
+		t.Fatalf("follow load response has no follow block: %s", raw)
+	}
+	return info
+}
+
+func readAll(resp *http.Response) ([]byte, error) {
+	var buf bytes.Buffer
+	_, err := buf.ReadFrom(resp.Body)
+	return buf.Bytes(), err
+}
+
+// waitForFollow polls the trace's Info until it has ingested at least
+// `events` events — the per-round barrier in the live tests: once the
+// writer stops, Events converges and the published snapshot is stable.
+func waitForFollow(t *testing.T, ts *httptest.Server, id string, events int) Info {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	var last []byte
+	for time.Now().Before(deadline) {
+		resp, body := get(t, ts.URL+"/traces/"+id)
+		last = body
+		if resp.StatusCode == http.StatusOK {
+			var info Info
+			if err := json.Unmarshal(body, &info); err != nil {
+				t.Fatal(err)
+			}
+			if info.Events >= events {
+				return info
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("trace %s never reached %d events (last info: %s)", id, events, last)
+	return Info{}
+}
+
+func fmtFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// liveQueryPath is the explicit-window form of fi's live window: per the
+// FollowInfo contract it reproduces the same floats on any server.
+func liveQueryPath(id string, fi *FollowInfo) string {
+	return fmt.Sprintf("/traces/%s/aggregate?p=0.4&lo=%s&hi=%s&slices=%d&pan=%d",
+		id, fmtFloat(fi.Lo), fmtFloat(fi.Hi), fi.Slices, fi.Pan)
+}
+
+// TestFollowE2EByteIdentity is the acceptance scenario: a daemon serving
+// a trace that is still being written answers queries whose live window
+// advances monotonically with the ingestion horizon, and every response
+// is byte-identical to (a) the explicit-window form of the same query on
+// the same server and (b) a scratch batch server loaded with exactly the
+// events ingested at that tick.
+func TestFollowE2EByteIdentity(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.bin")
+	all := followEvents(400)
+	lw := newLiveWriter(t, path)
+	lw.append(all[:80])
+
+	s := New(quietConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.StopFollowers()
+
+	info := followLoad(t, ts, "live", path, 10)
+	prevPan, prevHorizon := info.Follow.Pan, info.Follow.Horizon
+
+	written := 80
+	for _, cut := range []int{160, 240, 320, 400} {
+		lw.append(all[written:cut])
+		written = cut
+		info = waitForFollow(t, ts, "live", cut)
+		fi := info.Follow
+		if fi == nil {
+			t.Fatalf("cut %d: follow block disappeared", cut)
+		}
+		if fi.Pan < prevPan || fi.Horizon < prevHorizon {
+			t.Fatalf("cut %d: live window went backwards: pan %d→%d, horizon %v→%v",
+				cut, prevPan, fi.Pan, prevHorizon, fi.Horizon)
+		}
+		prevPan, prevHorizon = fi.Pan, fi.Horizon
+
+		// live=1 and its explicit-window twin on the follow server.
+		rLive, bLive := get(t, ts.URL+"/traces/live/aggregate?p=0.4&live=1")
+		rExp, bExp := get(t, ts.URL+liveQueryPath("live", fi))
+		if rLive.StatusCode != http.StatusOK || rExp.StatusCode != http.StatusOK {
+			t.Fatalf("cut %d: live=%d (%s), explicit=%d (%s)",
+				cut, rLive.StatusCode, bLive, rExp.StatusCode, bExp)
+		}
+		if !bytes.Equal(bLive, bExp) {
+			t.Fatalf("cut %d: live=1 body differs from explicit window:\n%s\n%s", cut, bLive, bExp)
+		}
+
+		// Scratch batch server over exactly the ingested prefix, same id
+		// so the bodies are comparable byte for byte.
+		scratchPath := filepath.Join(dir, fmt.Sprintf("prefix%d.bin", cut))
+		hdr := followHeader()
+		if err := traceio.WriteFile(scratchPath, &trace.Trace{
+			Resources: hdr.Resources, States: hdr.States,
+			Events: all[:cut], Start: hdr.Start, End: hdr.End}); err != nil {
+			t.Fatal(err)
+		}
+		s2 := New(quietConfig())
+		ts2 := httptest.NewServer(s2.Handler())
+		if _, err := s2.Registry().Load("live", scratchPath); err != nil {
+			t.Fatal(err)
+		}
+		rS, bS := get(t, ts2.URL+liveQueryPath("live", fi))
+		if rS.StatusCode != http.StatusOK {
+			t.Fatalf("cut %d: scratch server: status %d (%s)", cut, rS.StatusCode, bS)
+		}
+		if !bytes.Equal(bLive, bS) {
+			t.Fatalf("cut %d: follow body differs from scratch build:\n%s\n%s", cut, bLive, bS)
+		}
+		ts2.Close()
+		if err := s2.Registry().CloseAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if info.Follow.Pan <= -10+1 {
+		t.Fatalf("live window never advanced: final pan %d", info.Follow.Pan)
+	}
+	if info.Follow.Ticks == 0 {
+		t.Fatal("no ingestion ticks recorded")
+	}
+
+	// Tear down through the HTTP path: DELETE stops the follower.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/traces/live", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: status %d", dresp.StatusCode)
+	}
+	quiesce(t, s.cache)
+	checkByteAccounting(t, s.cache)
+}
+
+// TestFollowHorizonGuard: windows ending past the ingestion horizon are
+// refused (they would cache unsealed values), and live=1 is only legal on
+// follow-loaded traces.
+func TestFollowHorizonGuard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.bin")
+	lw := newLiveWriter(t, path)
+	all := followEvents(100)
+	lw.append(all)
+
+	s, ts := newTestServer(t, quietConfig()) // preloads batch trace "art"
+	defer s.StopFollowers()
+	info := followLoad(t, ts, "live", path, 10)
+	fi := info.Follow
+
+	past := fmt.Sprintf("%s/traces/live/aggregate?p=0.4&lo=%s&hi=%s&slices=4",
+		ts.URL, fmtFloat(fi.Horizon), fmtFloat(fi.Horizon+4))
+	if resp, body := get(t, past); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("window past horizon: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	if resp, body := get(t, ts.URL+"/traces/art/aggregate?p=0.4&live=1"); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("live=1 on a batch trace: status %d (%s), want 400", resp.StatusCode, body)
+	}
+	// A sealed window (end ≤ horizon) is admitted.
+	sealed := fmt.Sprintf("%s/traces/live/aggregate?p=0.4&lo=0&hi=%s&slices=4",
+		ts.URL, fmtFloat(fi.Horizon))
+	if resp, body := get(t, sealed); resp.StatusCode != http.StatusOK {
+		t.Fatalf("sealed window: status %d (%s), want 200", resp.StatusCode, body)
+	}
+}
+
+// TestFollowDeleteStopsIngestion: DELETE on a follow trace stops the
+// follower loop before the trace is removed — later appends are never
+// ingested, the id stays 404, and nothing leaks.
+func TestFollowDeleteStopsIngestion(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.bin")
+	all := followEvents(300)
+	lw := newLiveWriter(t, path)
+	lw.append(all[:100])
+
+	s := New(quietConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	followLoad(t, ts, "live", path, 5)
+	lw.append(all[100:200])
+	waitForFollow(t, ts, "live", 200)
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/traces/live", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: status %d", dresp.StatusCode)
+	}
+
+	// The loop is gone: appending more events must change nothing.
+	lw.append(all[200:])
+	time.Sleep(50 * time.Millisecond)
+	if resp, _ := get(t, ts.URL+"/traces/live"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace resurrected after DELETE: status %d", resp.StatusCode)
+	}
+	s.followMu.Lock()
+	n := len(s.followers)
+	s.followMu.Unlock()
+	if n != 0 {
+		t.Fatalf("%d followers tracked after DELETE, want 0", n)
+	}
+	quiesce(t, s.cache)
+	checkByteAccounting(t, s.cache)
+}
+
+// TestFollowDrainParksSnapshots: StopFollowers (the daemon drain path)
+// halts ingestion but keeps serving the last published snapshot.
+func TestFollowDrainParksSnapshots(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	pa, pb := filepath.Join(dir, "a.bin"), filepath.Join(dir, "b.bin")
+	all := followEvents(200)
+	lwa, lwb := newLiveWriter(t, pa), newLiveWriter(t, pb)
+	lwa.append(all[:100])
+	lwb.append(all[:150])
+
+	s := New(quietConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	followLoad(t, ts, "a", pa, 5)
+	followLoad(t, ts, "b", pb, 5)
+	waitForFollow(t, ts, "a", 100)
+	waitForFollow(t, ts, "b", 150)
+
+	s.StopFollowers()
+	lwa.append(all[100:]) // nobody is listening anymore
+	time.Sleep(30 * time.Millisecond)
+
+	infoA := waitForFollow(t, ts, "a", 100)
+	if infoA.Events != 100 {
+		t.Fatalf("drained trace kept ingesting: %d events, want 100", infoA.Events)
+	}
+	if resp, body := get(t, ts.URL+"/traces/a/aggregate?p=0.4&live=1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("parked snapshot not servable: status %d (%s)", resp.StatusCode, body)
+	}
+	if err := s.Registry().CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFollowCancelInjection tears the follower down at randomized points
+// while a writer appends and clients query the live window — the
+// DELETE/ingestion/query races must never leak a goroutine or corrupt
+// cache byte accounting.
+func TestFollowCancelInjection(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	rng := rand.New(rand.NewSource(29))
+	for round := 0; round < 4; round++ {
+		func() {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "live.bin")
+			all := followEvents(500)
+			lw := newLiveWriter(t, path)
+			lw.append(all[:50])
+
+			s := New(quietConfig())
+			ts := httptest.NewServer(s.Handler())
+			defer ts.Close()
+			defer s.StopFollowers()
+			followLoad(t, ts, "live", path, 2)
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() { // writer
+				defer wg.Done()
+				for next := 70; next <= len(all); next += 20 {
+					select {
+					case <-stop:
+						return
+					case <-time.After(2 * time.Millisecond):
+					}
+					lw.append(all[next-20 : next])
+				}
+			}()
+			for g := 0; g < 3; g++ {
+				wg.Add(1)
+				go func() { // querier
+					defer wg.Done()
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						resp, body := get(t, ts.URL+"/traces/live/aggregate?p=0.4&live=1")
+						if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+							t.Errorf("round %d: live query status %d (%s)", round, resp.StatusCode, body)
+							return
+						}
+					}
+				}()
+			}
+
+			time.Sleep(time.Duration(5+rng.Intn(25)) * time.Millisecond)
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/traces/live", nil)
+			dresp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dresp.Body.Close()
+			if dresp.StatusCode != http.StatusNoContent {
+				t.Fatalf("round %d: DELETE status %d", round, dresp.StatusCode)
+			}
+			close(stop)
+			wg.Wait()
+			quiesce(t, s.cache)
+			checkByteAccounting(t, s.cache)
+		}()
+	}
+}
+
+// TestChaosSoakFollow arms failpoints on the follow ingestion path — the
+// tail reader and the index extend — while a writer streams batches and
+// clients hammer the live window. Faults may delay ingestion but must
+// never lose an event: once the failpoints disarm, the follower converges
+// on exactly the written stream, still byte-identical to a scratch build.
+// Runs under -race in CI's chaos step (name matches the TestChaosSoak
+// pattern).
+func TestChaosSoakFollow(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "live.bin")
+	all := followEvents(600)
+	lw := newLiveWriter(t, path)
+	lw.append(all[:100])
+
+	s := New(quietConfig())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer s.StopFollowers()
+	followLoad(t, ts, "live", path, 3)
+
+	if err := failpoint.EnableSeeded(traceio.FailpointTail, "20%error(chaos)", 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.EnableSeeded(microscopic.FailpointExtend, "20%error(chaos)", 43); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, body := get(t, ts.URL+"/traces/live/aggregate?p=0.4&live=1")
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("querier %d: status %d (%s)", g, resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	for next := 125; next <= len(all); next += 25 {
+		lw.append(all[next-25 : next])
+		time.Sleep(3 * time.Millisecond)
+	}
+
+	// Disarm and converge: every written event must be ingested — armed
+	// faults delayed ticks, they may not have dropped events.
+	failpoint.DisableAll()
+	info := waitForFollow(t, ts, "live", len(all))
+	close(stop)
+	wg.Wait()
+	if info.Events != len(all) {
+		t.Fatalf("event loss under chaos: %d ingested, want %d", info.Events, len(all))
+	}
+
+	scratchPath := filepath.Join(dir, "scratch.bin")
+	hdr := followHeader()
+	if err := traceio.WriteFile(scratchPath, &trace.Trace{
+		Resources: hdr.Resources, States: hdr.States,
+		Events: all, Start: hdr.Start, End: hdr.End}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New(quietConfig())
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	if _, err := s2.Registry().Load("live", scratchPath); err != nil {
+		t.Fatal(err)
+	}
+	_, bFollow := get(t, ts.URL+liveQueryPath("live", info.Follow))
+	_, bScratch := get(t, ts2.URL+liveQueryPath("live", info.Follow))
+	if !bytes.Equal(bFollow, bScratch) {
+		t.Fatalf("post-chaos body differs from scratch build:\n%s\n%s", bFollow, bScratch)
+	}
+	if err := s2.Registry().CloseAll(); err != nil {
+		t.Fatal(err)
+	}
+	quiesce(t, s.cache)
+	checkByteAccounting(t, s.cache)
+}

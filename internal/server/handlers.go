@@ -73,10 +73,18 @@ func (s *Server) writeGetError(w http.ResponseWriter, err error) {
 	httpError(w, http.StatusInternalServerError, err)
 }
 
-// loadRequest is the POST /traces body.
+// loadRequest is the POST /traces body. The follow fields select live
+// ingestion: follow tails a file still being written, poll_ms sets the
+// tail poll interval, live_slices and slice_width shape the live window's
+// grid (both optional — the defaults split the header's declared window
+// into the standard slice count).
 type loadRequest struct {
-	ID   string `json:"id"`
-	Path string `json:"path"`
+	ID         string  `json:"id"`
+	Path       string  `json:"path"`
+	Follow     bool    `json:"follow,omitempty"`
+	PollMs     int     `json:"poll_ms,omitempty"`
+	LiveSlices int     `json:"live_slices,omitempty"`
+	SliceWidth float64 `json:"slice_width,omitempty"`
 }
 
 func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -90,17 +98,23 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	tr, err := s.reg.Load(req.ID, req.Path)
+	var tr *Trace
+	var err error
+	if req.Follow {
+		tr, err = s.startFollow(r.Context(), req)
+	} else {
+		tr, err = s.reg.Load(req.ID, req.Path)
+	}
 	if err != nil {
 		status := http.StatusBadRequest
-		if strings.Contains(err.Error(), "already loaded") {
+		if strings.Contains(err.Error(), "already load") {
 			status = http.StatusConflict
 		}
 		httpError(w, status, err)
 		return
 	}
 	s.log.Info("trace loaded", "trace", tr.ID, "path", tr.Path,
-		"events", tr.Events, "latency", time.Since(start))
+		"events", tr.Events, "follow", req.Follow, "latency", time.Since(start))
 	writeJSON(w, http.StatusCreated, tr.Info())
 }
 
@@ -121,6 +135,10 @@ func (s *Server) handleTraceInfo(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
+	// Stop any follower first (cancel + wait): once the loop has exited it
+	// can no longer publish a snapshot, so the Get below observes the final
+	// one and the close at the bottom releases the newest index.
+	s.stopFollower(id)
 	tr, ok := s.reg.Get(id)
 	if !ok || !s.reg.Remove(id) {
 		httpErrorf(w, http.StatusNotFound, "trace %q not loaded", id)
@@ -145,7 +163,29 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 // the window by whole slices on its own grid — the grid-exact navigation
 // path, so a panned request is derivable from its anchor window's cached
 // Input.
+//
+// Two follow-mode extensions: live=1 resolves to the trace's current live
+// window (the last slices of the anchored live grid — exactly the window
+// the follower seeds each tick, so it is a cache hit between ticks); and
+// any window reaching past the ingestion horizon is refused — the events
+// beyond it haven't been ingested, so its Input would be a float soup the
+// cache could never validate against later ticks.
 func windowFromQuery(tr *Trace, q url.Values, maxSlices int) (timeslice.Slicer, error) {
+	if q.Get("live") != "" {
+		live, err := strconv.ParseBool(q.Get("live"))
+		if err != nil {
+			return timeslice.Slicer{}, fmt.Errorf("bad live=%q: %v", q.Get("live"), err)
+		}
+		if live {
+			if tr.follow == nil {
+				return timeslice.Slicer{}, fmt.Errorf("live=1 requires a trace loaded in follow mode")
+			}
+			if tr.follow.anchor.N > maxSlices {
+				return timeslice.Slicer{}, fmt.Errorf("live window slices=%d exceeds the server cap %d", tr.follow.anchor.N, maxSlices)
+			}
+			return tr.follow.liveWindow(), nil
+		}
+	}
 	start, end := tr.resl.TraceWindow()
 	lo, err := finiteParam(q, "lo", start)
 	if err != nil {
@@ -184,6 +224,9 @@ func windowFromQuery(tr *Trace, q url.Values, maxSlices int) (timeslice.Slicer, 
 	}
 	if pan != 0 {
 		sl = sl.Shift(pan)
+	}
+	if tr.follow != nil && sl.End > tr.follow.horizon {
+		return timeslice.Slicer{}, fmt.Errorf("window end %v is past the ingestion horizon %v: not yet ingested", sl.End, tr.follow.horizon)
 	}
 	return sl, nil
 }

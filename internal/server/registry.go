@@ -29,6 +29,10 @@ type Trace struct {
 	// still in flight during the unload) can never be served for the new
 	// one.
 	gen uint64
+	// follow is non-nil for traces loaded in follow mode (live ingestion);
+	// like the rest of the snapshot it is immutable — each follower tick
+	// publishes a whole new Trace via replace.
+	follow *followState
 }
 
 // Info summarizes a loaded trace for the JSON API.
@@ -42,12 +46,30 @@ type Info struct {
 	End       float64  `json:"end"`
 	LoadedAt  string   `json:"loaded_at"`
 	Index     string   `json:"index"` // "ram" or "disk"
+	// Follow is present for live-ingested traces.
+	Follow *FollowInfo `json:"follow,omitempty"`
+}
+
+// FollowInfo publishes a follow trace's live-window coordinates. Lo, Hi,
+// Slices and Pan are chosen so that querying any server — including a
+// plain batch load of the same file — with exactly
+// ?lo=Lo&hi=Hi&slices=Slices&pan=Pan reconstructs the live window
+// float-for-float (JSON round-trips float64 exactly), which is how tests
+// compare follow responses byte-for-byte against a scratch build.
+type FollowInfo struct {
+	Lo      float64 `json:"lo"`      // anchor grid start
+	Hi      float64 `json:"hi"`      // anchor grid end
+	Slices  int     `json:"slices"`  // slices per live window
+	Pan     int     `json:"pan"`     // live window = anchor shifted this many slices
+	Horizon float64 `json:"horizon"` // max event start ingested (sealed time)
+	Ticks   int64   `json:"ticks"`   // ingestion ticks that carried events
+	Offset  int64   `json:"offset"`  // committed byte offset in the source file
 }
 
 // Info renders the trace's metadata.
 func (t *Trace) Info() Info {
 	start, end := t.resl.TraceWindow()
-	return Info{
+	info := Info{
 		ID:        t.ID,
 		Path:      t.Path,
 		Events:    t.Events,
@@ -58,6 +80,18 @@ func (t *Trace) Info() Info {
 		LoadedAt:  t.LoadedAt.UTC().Format(time.RFC3339),
 		Index:     t.resl.IndexKind(),
 	}
+	if t.follow != nil {
+		info.Follow = &FollowInfo{
+			Lo:      t.follow.anchor.Start,
+			Hi:      t.follow.anchor.End,
+			Slices:  t.follow.anchor.N,
+			Pan:     t.follow.pan,
+			Horizon: t.follow.horizon,
+			Ticks:   t.follow.ticks,
+			Offset:  t.follow.offset,
+		}
+	}
+	return info
 }
 
 // Registry holds the long-lived per-trace state: one Reslicer (and its
@@ -137,6 +171,23 @@ func (r *Registry) register(t *Trace) (*Trace, error) {
 	}
 	r.traces[t.ID] = t
 	return t, nil
+}
+
+// replace swaps in a new snapshot for t.ID, preserving registration
+// identity — the follower's per-tick publish. It refuses (returning
+// false) when the id is no longer registered or was re-registered under
+// a different lineage (the old snapshot's gen no longer matches and the
+// new one isn't a deliberate bump of it), so a tick racing an unload can
+// never resurrect a removed trace.
+func (r *Registry) replace(t *Trace) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.traces[t.ID]
+	if !ok || cur.follow == nil {
+		return false
+	}
+	r.traces[t.ID] = t
+	return true
 }
 
 // Get returns the trace registered under id.

@@ -13,6 +13,15 @@
 // → core builds Inputs and answers p-queries from pooled, capacity-
 // bounded Solvers → server caches the Inputs per window and speaks JSON.
 //
+// Traces may also be loaded in follow mode ({"follow": true} on POST
+// /traces): the server tails the file while a writer is still appending
+// to it, extends the trace's index copy-on-write each poll tick
+// (traceio.TailReader → Reslicer.Extend → Input.AdvanceContext), and
+// serves a sliding live window (live=1 on any query endpoint) whose
+// responses stay byte-identical to a scratch build over the events
+// ingested so far. See follow.go for the horizon rule that keeps the
+// cache exact across ticks.
+//
 // Endpoints:
 //
 //	POST   /traces                      load a trace file {"id","path"}
@@ -66,6 +75,7 @@ import (
 	"net/http"
 	"runtime"
 	"runtime/debug"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -160,6 +170,10 @@ type Server struct {
 	// draining flips /readyz to 503 during shutdown so the fleet's
 	// balancer stops routing here while in-flight requests finish.
 	draining atomic.Bool
+	// followers tracks the live-ingestion loop of each follow-loaded
+	// trace (see follow.go); guarded by followMu.
+	followMu  sync.Mutex
+	followers map[string]*follower
 }
 
 // New builds a Server from cfg.
@@ -208,6 +222,7 @@ func New(cfg Config) *Server {
 		timeout:      timeout,
 		maxSlices:    maxSlices,
 		degradeAfter: degradeAfter,
+		followers:    make(map[string]*follower),
 	}
 }
 

@@ -46,6 +46,14 @@ type Stats struct {
 	Previews     atomic.Int64
 	SweepQueries atomic.Int64
 	SweepPs      atomic.Int64
+
+	// Follow-mode ingestion counters: FollowTicks counts ticks that
+	// ingested at least one event, FollowEvents the events they carried,
+	// FollowReorders the out-of-order batches that forced a generation
+	// bump and cache purge (a healthy time-ordered writer keeps this 0).
+	FollowTicks    atomic.Int64
+	FollowEvents   atomic.Int64
+	FollowReorders atomic.Int64
 }
 
 // StatsSnapshot is the JSON form served by /debug/cachestats.
@@ -66,9 +74,13 @@ type StatsSnapshot struct {
 	Previews     int64 `json:"previews"`
 	SweepQueries int64 `json:"sweep_queries"`
 	SweepPs      int64 `json:"sweep_ps"`
-	Entries      int   `json:"entries"`
-	Bytes        int64 `json:"bytes"`
-	BudgetBytes  int64 `json:"budget_bytes"`
+
+	FollowTicks    int64 `json:"follow_ticks"`
+	FollowEvents   int64 `json:"follow_events"`
+	FollowReorders int64 `json:"follow_reorders"`
+	Entries        int   `json:"entries"`
+	Bytes          int64 `json:"bytes"`
+	BudgetBytes    int64 `json:"budget_bytes"`
 	// The index fields are registry aggregates, filled by
 	// Server.CacheStats (not Stats.snapshot): index bytes are the event
 	// indexes' fixed residency (RAM arrays or disk chunk directory),
@@ -102,5 +114,9 @@ func (s *Stats) snapshot() StatsSnapshot {
 		Previews:     s.Previews.Load(),
 		SweepQueries: s.SweepQueries.Load(),
 		SweepPs:      s.SweepPs.Load(),
+
+		FollowTicks:    s.FollowTicks.Load(),
+		FollowEvents:   s.FollowEvents.Load(),
+		FollowReorders: s.FollowReorders.Load(),
 	}
 }

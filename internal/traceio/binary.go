@@ -93,6 +93,10 @@ func (bw *binaryWriter) WriteEvent(e trace.Event) error {
 
 func (bw *binaryWriter) Close() error { return bw.w.Flush() }
 
+// Flush pushes buffered records down to the underlying writer so a live
+// reader can see them mid-stream.
+func (bw *binaryWriter) Flush() error { return bw.w.Flush() }
+
 // countReader tracks how many bytes of the stream have been consumed, so
 // decode errors can say where the corruption sits. It forwards ReadByte
 // (binary.ReadUvarint needs an io.ByteReader) without losing the count.
@@ -182,9 +186,16 @@ func (br *binaryReader) readStrings(what string) ([]string, error) {
 	if n > 100_000_000 {
 		return nil, br.corrupt("implausible %s count %d", what, n)
 	}
-	out := make([]string, n)
+	// Grow incrementally rather than trusting n for the allocation: a
+	// corrupt count just under the plausibility cap would otherwise
+	// commit ~gigabytes before the first string read fails.
+	capHint := n
+	if capHint > 4096 {
+		capHint = 4096
+	}
+	out := make([]string, 0, capHint)
 	var lb [2]byte
-	for i := range out {
+	for i := uint32(0); i < n; i++ {
 		if _, err := io.ReadFull(br.r, lb[:]); err != nil {
 			return nil, br.corrupt("%s table: %w", what, err)
 		}
@@ -193,7 +204,7 @@ func (br *binaryReader) readStrings(what string) ([]string, error) {
 		if _, err := io.ReadFull(br.r, buf); err != nil {
 			return nil, br.corrupt("%s table: %w", what, err)
 		}
-		out[i] = string(buf)
+		out = append(out, string(buf))
 	}
 	return out, nil
 }

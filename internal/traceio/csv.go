@@ -60,6 +60,10 @@ func (cw *csvWriter) WriteEvent(e trace.Event) error {
 
 func (cw *csvWriter) Close() error { return cw.w.Flush() }
 
+// Flush pushes buffered lines down to the underlying writer so a live
+// reader can see them mid-stream.
+func (cw *csvWriter) Flush() error { return cw.w.Flush() }
+
 func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', 17, 64) }
 
 type csvReader struct {
@@ -181,35 +185,46 @@ func (cr *csvReader) Next(ev *trace.Event) error {
 }
 
 func (cr *csvReader) parseEvent(line string, ev *trace.Event) error {
+	if err := parseCSVEventLine(line, len(cr.resources), len(cr.states), ev); err != nil {
+		return cr.errf("%w", err)
+	}
+	return nil
+}
+
+// parseCSVEventLine decodes one "event,res,st,start,end" line against
+// table sizes. It is shared by the batch reader (which adds the line
+// number via errf) and the tail reader (which adds it via its own
+// CorruptError).
+func parseCSVEventLine(line string, numResources, numStates int, ev *trace.Event) error {
 	kind, rest, _ := strings.Cut(line, ",")
 	if kind != "event" {
-		return cr.errf("unexpected %q line in event section", kind)
+		return fmt.Errorf("unexpected %q line in event section", kind)
 	}
 	parts := strings.Split(rest, ",")
 	if len(parts) != 4 {
-		return cr.errf("event needs 4 fields, got %d", len(parts))
+		return fmt.Errorf("event needs 4 fields, got %d", len(parts))
 	}
 	res, err := strconv.Atoi(parts[0])
 	if err != nil {
-		return cr.errf("bad resource: %v", err)
+		return fmt.Errorf("bad resource: %v", err)
 	}
 	st, err := strconv.Atoi(parts[1])
 	if err != nil {
-		return cr.errf("bad state: %v", err)
+		return fmt.Errorf("bad state: %v", err)
 	}
 	start, err := strconv.ParseFloat(parts[2], 64)
 	if err != nil {
-		return cr.errf("bad start: %v", err)
+		return fmt.Errorf("bad start: %v", err)
 	}
 	end, err := strconv.ParseFloat(parts[3], 64)
 	if err != nil {
-		return cr.errf("bad end: %v", err)
+		return fmt.Errorf("bad end: %v", err)
 	}
-	if res < 0 || res >= len(cr.resources) {
-		return cr.errf("resource %d out of range [0,%d)", res, len(cr.resources))
+	if res < 0 || res >= numResources {
+		return fmt.Errorf("resource %d out of range [0,%d)", res, numResources)
 	}
-	if st < 0 || st >= len(cr.states) {
-		return cr.errf("state %d out of range [0,%d)", st, len(cr.states))
+	if st < 0 || st >= numStates {
+		return fmt.Errorf("state %d out of range [0,%d)", st, numStates)
 	}
 	ev.Resource = trace.ResourceID(res)
 	ev.State = trace.StateID(st)

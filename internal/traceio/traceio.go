@@ -73,6 +73,23 @@ type Writer interface {
 	Close() error
 }
 
+// Flusher is implemented by writers that can push everything written so
+// far down to the destination without closing the stream — what a live
+// writer calls between batches so a TailReader sees complete records.
+// All writers returned by NewWriter and CreateFile implement it.
+type Flusher interface {
+	Flush() error
+}
+
+// Flush flushes w if it supports mid-stream flushing and is a no-op
+// otherwise.
+func Flush(w Writer) error {
+	if fl, ok := w.(Flusher); ok {
+		return fl.Flush()
+	}
+	return nil
+}
+
 // Header carries the trace metadata every format encodes before events.
 type Header struct {
 	Resources  []string
@@ -134,6 +151,21 @@ type fileWriter struct {
 	Writer
 	gz *gzip.Writer
 	f  *os.File
+}
+
+// Flush pushes buffered events through the encoder (and the gzip layer,
+// as a sync point) down to the file, so a concurrent reader of the path
+// sees every record written so far.
+func (fw *fileWriter) Flush() error {
+	if fl, ok := fw.Writer.(Flusher); ok {
+		if err := fl.Flush(); err != nil {
+			return err
+		}
+	}
+	if fw.gz != nil {
+		return fw.gz.Flush()
+	}
+	return nil
 }
 
 func (fw *fileWriter) Close() error {

@@ -9,7 +9,9 @@
 # cancellation), the windowing families (BenchmarkWindowPan/Zoom), the
 # out-of-core store (BenchmarkStoreBuild, BenchmarkStoreWindowRead with
 # chunks/op + readB/op, and BenchmarkWindowPan_DiskIndex — the disk twin
-# of the incremental pan) and the serving layer
+# of the incremental pan), live ingestion (BenchmarkFollowTick: one
+# Extend + live-window advance, the follower's steady-state tick, vs
+# BenchmarkFollowTick_Rebuild) and the serving layer
 # (BenchmarkServerPan_{Hit,Derived,Scratch}: one aggregate request
 # through the HTTP handler per cache build path). A subset of
 # these are gated against regressions by scripts/benchdiff.sh.

@@ -48,6 +48,7 @@ BenchmarkWindowZoomOut_Incremental
 BenchmarkServerPan_Hit
 BenchmarkServerZoom_Pyramid
 BenchmarkTable2_AggregationRun_C
+BenchmarkFollowTick
 "
 # BenchmarkSweepCancel is gated on its cancel_ns_per_op metric instead of
 # ns/op (its ns/op mostly measures the deliberate let-it-start delay).
