@@ -50,13 +50,32 @@
 // -failpoint arms named fault-injection sites for chaos testing —
 // /debug/failpoints lists what's armed, and must be empty in production.
 //
+// -state-dir makes the daemon crash-safe: loaded traces, their sealed
+// index stores, and each follower's committed resume offset are
+// journaled into a CRC'd manifest (written atomically: temp + fsync +
+// rename + directory fsync) on every load/unload and every
+// -checkpoint-ticks follow ticks. On boot the daemon recovers the
+// journal — sealed stores reopen in place instead of re-indexing,
+// followers resume their tail at the journaled byte offset with no event
+// lost or double-ingested, and orphaned temp/store files from the crash
+// are swept. -load/-follow preloads of already-recovered ids are skipped
+// (so a supervisor can restart the daemon with identical flags), and
+// store files become durable sidecars under <state-dir>/stores (or
+// -index-dir if set) instead of load-time temporaries. GET /debug/scrub
+// verifies the live stores' chunk CRCs and the manifest — quarantining
+// and rebuilding what fails — and `ocelotld -scrub -state-dir DIR` runs
+// the same check offline, printing a JSON report and exiting non-zero if
+// anything is damaged.
+//
 // The daemon shuts down gracefully on SIGINT/SIGTERM: /readyz flips to
 // 503 immediately (wait -drain-wait for balancers to notice), then the
-// listener closes and in-flight requests drain.
+// listener closes, in-flight requests drain, and (with -state-dir) a
+// final checkpoint journals the shutdown state.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -90,7 +109,10 @@ func main() {
 		buildQ    = flag.Int("build-queue", 0, "builds allowed to queue for a gate slot before shedding (0 = 4x max-builds)")
 		degrade   = flag.Duration("degrade-after", 0, "serve the coarse covering preview when a fine build runs past this (0 = default 2s, negative disables)")
 		indexName = flag.String("index", "auto", "event index backend for loaded traces: auto (RAM below threshold, disk above), ram, disk")
-		indexDir  = flag.String("index-dir", "", "directory for on-disk index store files (default: the system temp dir)")
+		indexDir  = flag.String("index-dir", "", "directory for on-disk index store files (default: the system temp dir; with -state-dir, <state-dir>/stores)")
+		stateDir  = flag.String("state-dir", "", "directory for durable daemon state: the manifest journal and (by default) the index stores; enables crash recovery")
+		ckptTicks = flag.Int("checkpoint-ticks", 0, "follow ticks between periodic manifest checkpoints (0 = default 50, negative disables; needs -state-dir)")
+		scrub     = flag.Bool("scrub", false, "verify the -state-dir manifest and store CRCs offline, print a JSON report, and exit (non-zero if damaged)")
 		verbose   = flag.Bool("v", false, "debug-level logging")
 	)
 	var preloads []string
@@ -125,6 +147,25 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
+	if *scrub {
+		if *stateDir == "" {
+			logger.Error("-scrub needs -state-dir")
+			os.Exit(2)
+		}
+		rep, err := server.ScrubState(*stateDir)
+		if err != nil {
+			logger.Error("scrub failed", "error", err)
+			os.Exit(2)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+		if !rep.Clean {
+			os.Exit(1)
+		}
+		return
+	}
+
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB <= 0 {
 		cacheBytes = -1 // disable rather than fall back to the default
@@ -154,11 +195,31 @@ func main() {
 		DegradeAfter:        *degrade,
 		Logger:              logger,
 		Index:               microscopic.IndexOptions{Mode: indexMode, Dir: *indexDir},
+		StateDir:            *stateDir,
+		CheckpointTicks:     *ckptTicks,
 	})
+	if *stateDir != "" {
+		rep, err := srv.Recover(context.Background())
+		if err != nil {
+			logger.Error("state recovery failed", "state_dir", *stateDir, "error", err)
+			os.Exit(1)
+		}
+		logger.Info("state recovered", "state_dir", *stateDir, "manifest_seq", rep.ManifestSeq,
+			"restored", rep.Restored, "reopened", rep.Reopened, "rebuilt", rep.Rebuilt,
+			"resumed", rep.Resumed, "restarted", rep.Restarted, "orphans", rep.Orphans,
+			"manifest_corrupt", rep.ManifestCorrupt, "skipped", rep.Skipped)
+	}
+	// Preloads tolerate ids that recovery already restored, so a
+	// supervisor can restart a crashed daemon with identical flags.
+	alreadyLoaded := func(err error) bool { return strings.Contains(err.Error(), "already load") }
 	for _, spec := range preloads {
 		id, path, _ := strings.Cut(spec, "=")
 		tr, err := srv.Registry().Load(id, path)
 		if err != nil {
+			if alreadyLoaded(err) {
+				logger.Info("preload already recovered", "trace", id)
+				continue
+			}
 			logger.Error("preload failed", "spec", spec, "error", err)
 			os.Exit(1)
 		}
@@ -168,10 +229,17 @@ func main() {
 		id, path, _ := strings.Cut(spec, "=")
 		tr, err := srv.FollowTrace(context.Background(), id, path)
 		if err != nil {
+			if alreadyLoaded(err) {
+				logger.Info("follow preload already recovered", "trace", id)
+				continue
+			}
 			logger.Error("follow preload failed", "spec", spec, "error", err)
 			os.Exit(1)
 		}
 		logger.Info("following", "trace", tr.ID, "path", path, "events", tr.Events)
+	}
+	if err := srv.Checkpoint(); err != nil {
+		logger.Warn("post-preload checkpoint failed", "error", err)
 	}
 
 	httpSrv := &http.Server{
@@ -212,9 +280,15 @@ func main() {
 		os.Exit(1)
 	}
 	// Stop the follow-mode ingestion loops before releasing the indexes
-	// they publish snapshots of, then release the event indexes so
-	// disk-backed traces remove their temporary store files.
+	// they publish snapshots of; with -state-dir, journal the final state
+	// (the followers' last committed offsets) before stopping the keeper.
+	// Then release the event indexes — load-time-temporary stores are
+	// removed, durable sidecars stay for the next boot to reopen.
 	srv.StopFollowers()
+	if err := srv.Checkpoint(); err != nil {
+		logger.Error("final checkpoint failed", "error", err)
+	}
+	srv.CloseState()
 	if err := srv.Registry().CloseAll(); err != nil {
 		logger.Error("closing trace indexes", "error", err)
 		os.Exit(1)

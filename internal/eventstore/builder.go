@@ -65,6 +65,7 @@ type Builder struct {
 	buf  []record
 	runs []*os.File // spilled sorted runs, in spill order
 	n    int64      // events added
+	tmp  string     // in-flight output temp, renamed to path on success
 
 	finished bool
 }
@@ -162,11 +163,16 @@ func (b *Builder) Finish() (*Store, error) {
 		b.runs = nil
 	}()
 
+	// The store is built in a temp file beside its final path and only
+	// renamed into place after an fsync, so a crash mid-build leaves a
+	// `.oces-build-*` temp (swept at startup), never a torn store under
+	// the published name that the next boot would trust.
 	b.meta.NumEvents = b.n
-	out, err := os.Create(b.path)
+	out, err := os.CreateTemp(filepath.Dir(b.path), ".oces-build-*")
 	if err != nil {
 		return nil, err
 	}
+	b.tmp = out.Name()
 	cw := &chunkedWriter{
 		w:   bufio.NewWriterSize(out, 1<<18),
 		opt: b.opt,
@@ -232,7 +238,18 @@ func (b *Builder) Finish() (*Store, error) {
 	if err := cw.w.Flush(); err != nil {
 		return nil, b.fail(out, err)
 	}
+	if err := out.Sync(); err != nil {
+		return nil, b.fail(out, err)
+	}
 	if err := out.Close(); err != nil {
+		os.Remove(b.tmp)
+		return nil, err
+	}
+	if err := os.Rename(b.tmp, b.path); err != nil {
+		os.Remove(b.tmp)
+		return nil, fmt.Errorf("eventstore: publish %s: %w", b.path, err)
+	}
+	if err := syncDir(filepath.Dir(b.path)); err != nil {
 		os.Remove(b.path)
 		return nil, err
 	}
@@ -246,11 +263,28 @@ func (b *Builder) Finish() (*Store, error) {
 
 func (b *Builder) fail(out *os.File, err error) error {
 	out.Close()
-	os.Remove(b.path)
+	os.Remove(b.tmp)
 	if _, ok := err.(*CorruptError); ok {
 		return err
 	}
 	return fmt.Errorf("eventstore: write %s: %w", b.path, err)
+}
+
+// syncDir fsyncs the directory so the rename that published the store is
+// itself durable — without it a crash after Finish can forget the file.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("eventstore: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("eventstore: sync dir %s: %w", dir, err)
+	}
+	return nil
 }
 
 // chunkedWriter packs the sorted event stream into chunks: a chunk holds

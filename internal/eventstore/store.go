@@ -383,6 +383,22 @@ func (s *Store) readChunk(ci int) (*decodedChunk, error) {
 	}, nil
 }
 
+// VerifyChunks re-reads every chunk payload from disk and validates its
+// CRC and decode, bypassing the decoded-chunk cache — the scrub pass's
+// workhorse. It returns the first corruption found (IsCorrupt-
+// classifiable) and the number of chunks verified before it. Reads do
+// not populate or consult the cache, so a scrub neither evicts a serving
+// store's hot chunks nor gets fooled by them.
+func (s *Store) VerifyChunks() (verified int, err error) {
+	for ci := range s.dir {
+		if _, err := s.readChunk(ci); err != nil {
+			return verified, err
+		}
+		verified++
+	}
+	return verified, nil
+}
+
 // Close releases the store: the file handle closes, the decoded cache
 // drops, and — for load-time temporaries (Options.RemoveOnClose) — the
 // file is deleted. Reads racing a Close fail with the file's closed

@@ -1,0 +1,30 @@
+// Package manifest journals the daemon's durable state: which traces are
+// loaded (id, source path, generation, index backend, sealed store file)
+// and where each live-ingestion follower stands (committed tail offset,
+// live-window grid, horizon, tick count). The serving layer checkpoints a
+// Manifest on every load/unload and periodically during follow ticks; on
+// boot it loads the manifest back and rebuilds the same serving state —
+// reopening sealed eventstore files in place and resuming followers from
+// their journaled offsets — so a crashed or redeployed ocelotld answers
+// exactly as an uninterrupted one would.
+//
+// Layering: manifest sits beside eventstore under the serving layer. It
+// knows nothing about reslicers, caches, or HTTP — it (de)serializes one
+// small, CRC'd, versioned envelope and writes it atomically (temp file +
+// fsync + rename + parent-directory fsync), so a crash at any byte leaves
+// either the previous manifest or the new one, never a torn hybrid. The
+// server package owns what the journaled fields mean (internal/server's
+// recovery path); cmd/ocelotld owns where the journal lives (-state-dir).
+//
+// The envelope is magic ("OCMF") + version + payload length + CRC32 of
+// the payload + a JSON payload. JSON keeps the state debuggable with
+// standard tools (`tail -c +20 MANIFEST.ocmf | jq .`); the binary header
+// is what makes truncation and bit flips loudly detectable rather than
+// silently parseable. Decode never trusts a length it has not bounded
+// against the input and is fuzzed with torn and bit-flipped corpora.
+//
+// Failpoints manifest/write and manifest/load inject faults at the two
+// I/O boundaries; the write-side injection fires after the temp file is
+// durable but before the rename, so an armed error leaves exactly the
+// torn-write debris a kill -9 would.
+package manifest

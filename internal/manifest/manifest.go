@@ -1,0 +1,298 @@
+package manifest
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ocelotl/internal/failpoint"
+)
+
+// FailpointWrite and FailpointLoad name the fault-injection sites at the
+// journal's two I/O boundaries. The write-side site fires after the temp
+// file has been written and fsynced but before the rename publishes it,
+// so an armed error (or a kill -9 at the same instant) leaves the
+// previous manifest intact plus a stale temp — exactly the debris the
+// startup sweep must tolerate.
+const (
+	FailpointWrite = "manifest/write"
+	FailpointLoad  = "manifest/load"
+)
+
+// FileName is the manifest's name inside the state directory.
+const FileName = "MANIFEST.ocmf"
+
+// tmpPrefix names in-flight manifest writes; Open sweeps leftovers.
+const tmpPrefix = ".ocmf-write-"
+
+const (
+	magic   = "OCMF"
+	version = 1
+	// headerSize is magic(4) + version(4) + payload length(8) + CRC32(4).
+	headerSize = 20
+	// maxPayload bounds the decoded payload length before any allocation,
+	// so a bit-flipped length field cannot commit gigabytes.
+	maxPayload = 64 << 20
+)
+
+// CorruptError marks a manifest that exists but cannot be trusted:
+// truncation, bad magic, version skew, or a checksum mismatch. Recovery
+// treats it as "no usable manifest" (quarantine and start empty) rather
+// than a fatal boot error.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	if e.Path == "" {
+		return fmt.Sprintf("manifest: corrupt: %v", e.Err)
+	}
+	return fmt.Sprintf("manifest: %s: corrupt: %v", e.Path, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// IsCorrupt reports whether err classifies as manifest corruption, as
+// opposed to a missing file or an I/O failure.
+func IsCorrupt(err error) bool {
+	var ce *CorruptError
+	return errors.As(err, &ce)
+}
+
+// FollowState journals one follower's resume point. Offset is the
+// committed byte offset from traceio.TailReader.Offset — the position
+// just past the last fully ingested record — which OpenTailAt accepts to
+// resume the tail without re-reading the prefix. AnchorLo/AnchorHi/Slices
+// are the live grid's exact floats (the anchor timeslice.Slicer), Pan the
+// live window's shift on it, Horizon the max event start ingested, Ticks
+// the ingestion ticks carried over for Info continuity, PollMs the tail
+// poll interval.
+type FollowState struct {
+	Offset   int64   `json:"offset"`
+	AnchorLo float64 `json:"anchor_lo"`
+	AnchorHi float64 `json:"anchor_hi"`
+	Slices   int     `json:"slices"`
+	Pan      int     `json:"pan"`
+	Horizon  float64 `json:"horizon"`
+	Ticks    int64   `json:"ticks"`
+	PollMs   int     `json:"poll_ms"`
+}
+
+// TraceState journals one loaded trace. Index is the backend actually in
+// use ("ram" or "disk"); Store is the sealed eventstore file for disk
+// backends (empty otherwise) — recovery reopens it in place instead of
+// rebuilding the index from the trace. Gen is the registry generation,
+// restored so Info and cache-key lineage stay stable across restarts.
+// Traces loaded from memory (no source path) cannot be journaled.
+type TraceState struct {
+	ID     string       `json:"id"`
+	Path   string       `json:"path"`
+	Index  string       `json:"index"`
+	Store  string       `json:"store,omitempty"`
+	Gen    uint64       `json:"gen"`
+	Follow *FollowState `json:"follow,omitempty"`
+}
+
+// Manifest is one durable snapshot of the daemon's serving state. Seq
+// increases by one per checkpoint, so two manifests from one lineage are
+// ordered without trusting file timestamps.
+type Manifest struct {
+	Seq    uint64       `json:"seq"`
+	Traces []TraceState `json:"traces"`
+}
+
+// Encode serializes m into the versioned, CRC'd envelope.
+func Encode(m *Manifest) ([]byte, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: encode: %w", err)
+	}
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf[0:4], magic)
+	binary.LittleEndian.PutUint32(buf[4:8], version)
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(buf[16:20], crc32.ChecksumIEEE(payload))
+	copy(buf[headerSize:], payload)
+	return buf, nil
+}
+
+// Decode validates the envelope and returns the manifest it carries.
+// Every failure mode — truncation, bad magic, version skew, a length
+// that disagrees with the input, a checksum mismatch, unparseable JSON —
+// is a CorruptError; Decode never panics on arbitrary input (fuzzed).
+func Decode(data []byte) (*Manifest, error) {
+	corrupt := func(format string, args ...any) error {
+		return &CorruptError{Err: fmt.Errorf(format, args...)}
+	}
+	if len(data) < headerSize {
+		return nil, corrupt("%d bytes is shorter than the %d-byte header", len(data), headerSize)
+	}
+	if string(data[0:4]) != magic {
+		return nil, corrupt("bad magic %q", data[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != version {
+		return nil, corrupt("unsupported manifest version %d (want %d)", v, version)
+	}
+	plen := binary.LittleEndian.Uint64(data[8:16])
+	if plen > maxPayload {
+		return nil, corrupt("payload length %d exceeds the %d-byte bound", plen, maxPayload)
+	}
+	if uint64(len(data)-headerSize) != plen {
+		return nil, corrupt("payload length %d does not match the %d trailing bytes (torn write?)", plen, len(data)-headerSize)
+	}
+	payload := data[headerSize:]
+	want := binary.LittleEndian.Uint32(data[16:20])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, corrupt("payload checksum mismatch: header says %08x, payload hashes to %08x", want, got)
+	}
+	var m Manifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, corrupt("payload JSON: %v", err)
+	}
+	return &m, nil
+}
+
+// LoadFile reads and decodes the manifest at path. A missing file is
+// (nil, nil) — a daemon booting a fresh state directory has no state to
+// recover, which is not an error. LoadFile is read-only (no temp sweep),
+// so a live scrub can call it while the owning daemon keeps writing.
+func LoadFile(path string) (*Manifest, error) {
+	if err := failpoint.Inject(FailpointLoad); err != nil {
+		return nil, fmt.Errorf("manifest: %s: %w", path, err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	m, err := Decode(data)
+	if err != nil {
+		var ce *CorruptError
+		if errors.As(err, &ce) {
+			ce.Path = path
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// Journal owns the manifest file of one state directory and writes it
+// atomically. Safe for use by one process at a time (the daemon); Save
+// calls may come from any goroutine but must be externally serialized
+// (the server's state keeper is that serialization).
+type Journal struct {
+	dir  string
+	path string
+}
+
+// Open prepares the journal in dir, creating the directory if needed and
+// sweeping stale in-flight temp files left by a crashed writer. It does
+// not read the manifest; call Load.
+func Open(dir string) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("manifest: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("manifest: state dir: %w", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: state dir: %w", err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			os.Remove(filepath.Join(dir, e.Name()))
+		}
+	}
+	return &Journal{dir: dir, path: filepath.Join(dir, FileName)}, nil
+}
+
+// Dir returns the state directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// Path returns the manifest file's path.
+func (j *Journal) Path() string { return j.path }
+
+// Load reads the current manifest; (nil, nil) when none exists yet.
+func (j *Journal) Load() (*Manifest, error) { return LoadFile(j.path) }
+
+// Save atomically replaces the manifest with m: the envelope is written
+// to a temp file in the same directory, fsynced, renamed over the
+// manifest, and the directory is fsynced so the rename itself is
+// durable. A crash (or an armed manifest/write failpoint) at any point
+// leaves either the previous manifest or the new one.
+func (j *Journal) Save(m *Manifest) error {
+	data, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(j.dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("manifest: save: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: save: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: save: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: save: %w", err)
+	}
+	// The temp is durable but unpublished: the torn-write window. The
+	// failpoint deliberately leaves the temp behind, like a crash would.
+	if err := failpoint.Inject(FailpointWrite); err != nil {
+		return fmt.Errorf("manifest: %s: %w", j.path, err)
+	}
+	if err := os.Rename(tmp, j.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("manifest: save: %w", err)
+	}
+	return SyncDir(j.dir)
+}
+
+// Quarantine moves the manifest aside (FileName + ".corrupt"), so a
+// damaged journal is preserved for inspection while the daemon starts
+// over with an empty one. Reports whether a file was moved.
+func (j *Journal) Quarantine() (bool, error) {
+	dst := j.path + ".corrupt"
+	if err := os.Rename(j.path, dst); err != nil {
+		if os.IsNotExist(err) {
+			return false, nil
+		}
+		return false, fmt.Errorf("manifest: quarantine: %w", err)
+	}
+	return true, SyncDir(j.dir)
+}
+
+// SyncDir fsyncs a directory, making a just-completed rename in it
+// durable. Exposed for the serving layer's other atomic-publish sites
+// (store quarantine renames) so fsync discipline stays in one place.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("manifest: sync dir: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("manifest: sync dir %s: %w", dir, err)
+	}
+	return nil
+}

@@ -1,0 +1,307 @@
+package manifest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ocelotl/internal/failpoint"
+)
+
+func sampleManifest() *Manifest {
+	return &Manifest{
+		Seq: 7,
+		Traces: []TraceState{
+			{
+				ID:    "mpi",
+				Path:  "/traces/mpi.otb",
+				Index: "disk",
+				Store: "/state/stores/mpi.oces",
+				Gen:   3,
+				Follow: &FollowState{
+					Offset:   4096,
+					AnchorLo: 0,
+					AnchorHi: 12.5,
+					Slices:   50,
+					Pan:      4,
+					Horizon:  11.875,
+					Ticks:    42,
+					PollMs:   50,
+				},
+			},
+			{ID: "art", Path: "/traces/art.csv", Index: "ram", Gen: 1},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	data, err := Encode(m)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Seq != m.Seq || len(got.Traces) != len(m.Traces) {
+		t.Fatalf("round trip mismatch: got %+v want %+v", got, m)
+	}
+	for i := range m.Traces {
+		a, b := got.Traces[i], m.Traces[i]
+		if a.ID != b.ID || a.Path != b.Path || a.Index != b.Index || a.Store != b.Store || a.Gen != b.Gen {
+			t.Fatalf("trace %d mismatch: got %+v want %+v", i, a, b)
+		}
+		if (a.Follow == nil) != (b.Follow == nil) {
+			t.Fatalf("trace %d follow presence mismatch", i)
+		}
+		if a.Follow != nil && *a.Follow != *b.Follow {
+			t.Fatalf("trace %d follow mismatch: got %+v want %+v", i, *a.Follow, *b.Follow)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	valid, err := Encode(sampleManifest())
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"short header", func(b []byte) []byte { return b[:headerSize-1] }},
+		{"bad magic", func(b []byte) []byte { b[0] = 'X'; return b }},
+		{"bad version", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4:8], 99)
+			return b
+		}},
+		{"huge length", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:16], maxPayload+1)
+			return b
+		}},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xFF) }},
+		{"payload bit flip", func(b []byte) []byte { b[headerSize+5] ^= 0x10; return b }},
+		{"crc bit flip", func(b []byte) []byte { b[16] ^= 0x01; return b }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := tc.mutate(append([]byte(nil), valid...))
+			_, err := Decode(data)
+			if err == nil {
+				t.Fatal("Decode accepted corrupt input")
+			}
+			if !IsCorrupt(err) {
+				t.Fatalf("want CorruptError, got %T: %v", err, err)
+			}
+		})
+	}
+}
+
+func TestJournalSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	// Fresh directory: no manifest yet.
+	if m, err := j.Load(); err != nil || m != nil {
+		t.Fatalf("Load on empty dir: m=%v err=%v", m, err)
+	}
+	want := sampleManifest()
+	if err := j.Save(want); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := j.Load()
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got == nil || got.Seq != want.Seq || len(got.Traces) != 2 {
+		t.Fatalf("Load returned %+v", got)
+	}
+	// Save again: atomic replace, no temp debris.
+	want.Seq++
+	if err := j.Save(want); err != nil {
+		t.Fatalf("second Save: %v", err)
+	}
+	got, err = j.Load()
+	if err != nil || got.Seq != want.Seq {
+		t.Fatalf("reload after replace: got %+v err=%v", got, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("temp debris after successful Save: %s", e.Name())
+		}
+	}
+}
+
+func TestJournalPayloadIsJSON(t *testing.T) {
+	// The payload after the binary header must stay plain JSON — the
+	// documented `tail -c +21 | jq .` debugging path.
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	if err := j.Save(sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(j.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := data[headerSize:]
+	if !bytes.HasPrefix(payload, []byte("{")) || !bytes.HasSuffix(payload, []byte("}")) {
+		t.Fatalf("payload is not a JSON object: %q", payload)
+	}
+}
+
+func TestJournalWriteFailpointLeavesTornDebris(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := sampleManifest()
+	if err := j.Save(old); err != nil {
+		t.Fatalf("initial Save: %v", err)
+	}
+	if err := failpoint.Enable(FailpointWrite, "error(torn)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	next := sampleManifest()
+	next.Seq = 99
+	err = j.Save(next)
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	// The previous manifest must be intact — the fault fired before the
+	// rename — and the durable-but-unpublished temp must be left behind.
+	got, lerr := j.Load()
+	if lerr != nil || got == nil || got.Seq != old.Seq {
+		t.Fatalf("previous manifest damaged: got %+v err=%v", got, lerr)
+	}
+	entries, _ := os.ReadDir(dir)
+	var temps int
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			temps++
+		}
+	}
+	if temps == 0 {
+		t.Fatal("no torn-write temp left behind by the armed failpoint")
+	}
+	failpoint.DisableAll()
+	// Re-opening the journal sweeps the debris, like a restart would.
+	if _, err := Open(dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), tmpPrefix) {
+			t.Fatalf("Open did not sweep stale temp %s", e.Name())
+		}
+	}
+}
+
+func TestJournalLoadFailpoint(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+	if err := j.Save(sampleManifest()); err != nil {
+		t.Fatal(err)
+	}
+	if err := failpoint.Enable(FailpointLoad, "error(io)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.DisableAll()
+	_, err := j.Load()
+	if !errors.Is(err, failpoint.ErrInjected) {
+		t.Fatalf("want injected error, got %v", err)
+	}
+	if IsCorrupt(err) {
+		t.Fatal("injected I/O error must not classify as corruption")
+	}
+}
+
+func TestQuarantine(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := Open(dir)
+
+	// Nothing to quarantine on a fresh directory.
+	moved, err := j.Quarantine()
+	if err != nil || moved {
+		t.Fatalf("Quarantine empty: moved=%v err=%v", moved, err)
+	}
+
+	// A corrupt manifest (simulated torn write: valid prefix, truncated)
+	// moves aside and leaves the journal startable.
+	data, _ := Encode(sampleManifest())
+	if err := os.WriteFile(j.Path(), data[:len(data)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Load(); !IsCorrupt(err) {
+		t.Fatalf("want corruption from torn manifest, got %v", err)
+	}
+	moved, err = j.Quarantine()
+	if err != nil || !moved {
+		t.Fatalf("Quarantine: moved=%v err=%v", moved, err)
+	}
+	if m, err := j.Load(); err != nil || m != nil {
+		t.Fatalf("after quarantine Load should be empty: m=%v err=%v", m, err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, FileName+".corrupt")); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	m, err := LoadFile(filepath.Join(t.TempDir(), "nope.ocmf"))
+	if err != nil || m != nil {
+		t.Fatalf("missing file: m=%v err=%v", m, err)
+	}
+}
+
+// FuzzManifestDecode throws arbitrary bytes at Decode: it must never
+// panic, and any accepted input must re-encode to a decodable manifest
+// (decode/encode/decode stability).
+func FuzzManifestDecode(f *testing.F) {
+	valid, err := Encode(sampleManifest())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5]) // torn write
+	f.Add([]byte{})             // empty
+	f.Add([]byte("OCMF"))       // magic only
+	flipped := append([]byte(nil), valid...)
+	flipped[headerSize+2] ^= 0x40
+	f.Add(flipped) // payload bit flip
+	huge := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(huge[8:16], 1<<60)
+	f.Add(huge) // absurd length field
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			if !IsCorrupt(err) {
+				t.Fatalf("non-corrupt decode error %T: %v", err, err)
+			}
+			return
+		}
+		re, err := Encode(m)
+		if err != nil {
+			t.Fatalf("accepted manifest failed to re-encode: %v", err)
+		}
+		if _, err := Decode(re); err != nil {
+			t.Fatalf("re-encoded manifest failed to decode: %v", err)
+		}
+	})
+}

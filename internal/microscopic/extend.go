@@ -177,4 +177,6 @@ func (ix *overlayIndex) memoryBytes() int64 {
 func (ix *overlayIndex) openChunkBytes() int64           { return ix.base.openChunkBytes() }
 func (ix *overlayIndex) kind() string                    { return ix.base.kind() }
 func (ix *overlayIndex) readStats() eventstore.ReadStats { return ix.base.readStats() }
+func (ix *overlayIndex) storePath() string               { return ix.base.storePath() }
+func (ix *overlayIndex) verify() (int, error)            { return ix.base.verify() }
 func (ix *overlayIndex) close() error                    { return ix.base.close() }

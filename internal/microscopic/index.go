@@ -33,6 +33,13 @@ type eventIndex interface {
 	openChunkBytes() int64
 	kind() string
 	readStats() eventstore.ReadStats
+	// storePath names the sealed on-disk store backing the index ("" for
+	// RAM) — what the serving layer journals so a restart can reopen the
+	// store in place instead of rebuilding it.
+	storePath() string
+	// verify re-reads every stored chunk and validates its CRC (the
+	// scrub pass); RAM backends have nothing on disk and verify 0 chunks.
+	verify() (int, error)
 	close() error
 	// extend returns an index that additionally holds the events in tmp
 	// (per-leaf buckets in stream order), preserving the fill-order
@@ -96,8 +103,13 @@ type IndexOptions struct {
 	Threshold int64
 	// Dir hosts the store file and its spill runs for disk-backed
 	// indexes (default os.TempDir()). The file is a load-time temporary,
-	// removed when the Reslicer closes.
+	// removed when the Reslicer closes — unless KeepStore is set.
 	Dir string
+	// KeepStore makes the store file a durable sidecar instead of a
+	// load-time temporary: Close keeps it on disk, so a restarted daemon
+	// can reopen it in place (OpenReslicerStore) instead of rebuilding
+	// the index from the trace.
+	KeepStore bool
 	// Store tunes the on-disk store (chunk size, sort buffer, chunk
 	// cache budget); zero values mean the eventstore defaults.
 	Store eventstore.Options
@@ -175,6 +187,8 @@ func (ix *ramIndex) memoryBytes() int64 {
 func (ix *ramIndex) openChunkBytes() int64           { return 0 }
 func (ix *ramIndex) kind() string                    { return "ram" }
 func (ix *ramIndex) readStats() eventstore.ReadStats { return eventstore.ReadStats{} }
+func (ix *ramIndex) storePath() string               { return "" }
+func (ix *ramIndex) verify() (int, error)            { return 0, nil }
 func (ix *ramIndex) close() error                    { return nil }
 
 // diskIndex adapts an eventstore.Store: series numbers are hierarchy
@@ -192,6 +206,8 @@ func (ix *diskIndex) memoryBytes() int64              { return ix.store.Director
 func (ix *diskIndex) openChunkBytes() int64           { return ix.store.OpenChunkBytes() }
 func (ix *diskIndex) kind() string                    { return "disk" }
 func (ix *diskIndex) readStats() eventstore.ReadStats { return ix.store.ReadStats() }
+func (ix *diskIndex) storePath() string               { return ix.store.Path() }
+func (ix *diskIndex) verify() (int, error)            { return ix.store.VerifyChunks() }
 func (ix *diskIndex) close() error                    { return ix.store.Close() }
 
 // TraceSource adapts an in-memory trace to the EventSource interface, so
@@ -337,7 +353,7 @@ func newStoreBuilder(h *hierarchy.Hierarchy, r2leaf []int, resources, states []s
 	path := f.Name()
 	f.Close()
 	sopt := opt.Store
-	sopt.RemoveOnClose = true
+	sopt.RemoveOnClose = !opt.KeepStore
 	meta := eventstore.Meta{Series: leafPaths, States: states, Start: start, End: end}
 	b, err := eventstore.Create(path, meta, sopt)
 	if err != nil {
@@ -345,6 +361,45 @@ func newStoreBuilder(h *hierarchy.Hierarchy, r2leaf []int, resources, states []s
 		return nil, err
 	}
 	return b, nil
+}
+
+// OpenReslicerStore reopens a sealed store file (built by a previous
+// NewReslicerIndexed with KeepStore) as a disk-backed Reslicer, skipping
+// the rebuild entirely — the restart fast path. The hierarchy is rebuilt
+// from the store's leaf-ordered series table, which round-trips to
+// identical leaf numbering (hierarchy.FromPaths inserts children by
+// first appearance, and leaf order preserves it); the identity of that
+// mapping is checked, so a store written by an incompatible writer fails
+// loudly instead of silently renumbering leaves and breaking the
+// bit-identity contract.
+func OpenReslicerStore(path string, opt IndexOptions) (*Reslicer, error) {
+	sopt := opt.Store
+	sopt.RemoveOnClose = !opt.KeepStore
+	store, err := eventstore.Open(path, sopt)
+	if err != nil {
+		return nil, err
+	}
+	meta := store.Meta()
+	h, err := hierarchy.FromPaths(meta.Series)
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("microscopic: reopen %s: %w", path, err)
+	}
+	r2leaf, err := leafMap(h, meta.Series)
+	if err != nil {
+		store.Close()
+		return nil, fmt.Errorf("microscopic: reopen %s: %w", path, err)
+	}
+	for i, l := range r2leaf {
+		if l != i {
+			store.Close()
+			return nil, fmt.Errorf("microscopic: reopen %s: series table is not leaf-ordered (series %d is leaf %d) — store written by an incompatible builder", path, i, l)
+		}
+	}
+	r := emptyReslicer(h, meta.States, meta.Start, meta.End)
+	r.r2leaf = r2leaf
+	r.idx = &diskIndex{store: store}
+	return r, nil
 }
 
 // checkEvent validates an event against the tables — the same acceptance

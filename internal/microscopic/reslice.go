@@ -157,6 +157,17 @@ func (r *Reslicer) OpenChunkBytes() int64 { return r.idx.openChunkBytes() }
 // read these.
 func (r *Reslicer) IndexReadStats() eventstore.ReadStats { return r.idx.readStats() }
 
+// StorePath names the sealed store file backing a disk index ("" for the
+// RAM backend) — the path the serving layer journals so a restart can
+// reopen it via OpenReslicerStore.
+func (r *Reslicer) StorePath() string { return r.idx.storePath() }
+
+// VerifyIndex re-reads and CRC-checks every chunk of a disk-backed
+// index (the scrub pass), bypassing the decoded-chunk cache. It returns
+// the chunks verified and the first corruption found; RAM backends
+// verify (0, nil).
+func (r *Reslicer) VerifyIndex() (int, error) { return r.idx.verify() }
+
 // Close releases the index. For the RAM backend this is a no-op; for the
 // disk backend it closes and removes the store file — fills in flight
 // fail with an error after that, they never read freed memory or

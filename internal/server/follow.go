@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"os"
 	"time"
 
@@ -72,6 +73,7 @@ type followState struct {
 	horizon float64          // max event start ingested; sealed time
 	ticks   int64            // ticks that ingested at least one event
 	offset  int64            // tail reader committed byte offset (resume point)
+	poll    time.Duration    // tail poll interval (journaled for resume)
 }
 
 // liveWindow returns the current live slicer.
@@ -144,7 +146,7 @@ func (s *Server) startFollow(ctx context.Context, req loadRequest) (*Trace, erro
 		return nil, fmt.Errorf("server: trace %q already loaded", req.ID)
 	}
 
-	tail, err := openTailWait(ctx, req.Path, opts.poll)
+	tail, err := s.openTailWait(ctx, req.Path, opts.poll)
 	if err != nil {
 		return nil, err
 	}
@@ -206,56 +208,82 @@ func (s *Server) startFollow(ctx context.Context, req loadRequest) (*Trace, erro
 		pan:     sealedPan(anchor, horizon),
 		horizon: horizon,
 		offset:  tail.Offset(),
+		poll:    opts.poll,
 	}}
 
-	// Track the follower before the trace is visible, so a DELETE racing
-	// this load always finds the loop to stop.
-	s.followMu.Lock()
-	if _, dup := s.followers[req.ID]; dup {
-		s.followMu.Unlock()
-		cancel()
-		tail.Close()
-		resl.Close()
-		return nil, fmt.Errorf("server: trace %q already loading in follow mode", req.ID)
-	}
-	s.followers[req.ID] = f
-	s.followMu.Unlock()
-
-	if _, err := s.reg.register(tr); err != nil {
-		s.followMu.Lock()
-		delete(s.followers, req.ID)
-		s.followMu.Unlock()
+	tr, err = s.launchFollower(f, tr)
+	if err != nil {
 		cancel()
 		tail.Close()
 		resl.Close()
 		return nil, err
 	}
-
-	// Seed the live window so the first live=1 query is a hit.
-	if in, err := s.buildLive(fctx, tr); err == nil {
-		f.live = in
-		s.cache.Seed(tr, in)
-	} else if !isCancellation(err) {
-		s.log.Warn("follow: initial live build failed", "trace", req.ID, "error", err)
-	}
-
-	go s.runFollower(f)
 	s.log.Info("follow started", "trace", req.ID, "path", req.Path,
 		"events", tr.Events, "horizon", horizon, "poll", opts.poll,
 		"live_slices", opts.liveSlices, "slice_width", opts.sliceWidth)
 	return tr, nil
 }
 
-// openTailWait retries OpenTail while the file is missing or its header
-// incomplete — the writer may not have flushed it yet — bounded by
-// followOpenWait and the request context.
-func openTailWait(ctx context.Context, path string, poll time.Duration) (*traceio.TailReader, error) {
-	deadline := time.Now().Add(followOpenWait)
-	retry := poll
-	if retry > 250*time.Millisecond {
-		retry = 250 * time.Millisecond
+// launchFollower publishes a prepared follower: it is tracked before the
+// trace is visible (so a DELETE racing the load always finds the loop to
+// stop), the snapshot registered, the live window seeded so the first
+// live=1 query is a hit, and the ingestion loop started. Shared by
+// startFollow and the recovery resume; on error the caller releases the
+// tail and index it prepared.
+func (s *Server) launchFollower(f *follower, tr *Trace) (*Trace, error) {
+	s.followMu.Lock()
+	if _, dup := s.followers[f.id]; dup {
+		s.followMu.Unlock()
+		return nil, fmt.Errorf("server: trace %q already loading in follow mode", f.id)
 	}
-	for {
+	s.followers[f.id] = f
+	s.followMu.Unlock()
+
+	if _, err := s.reg.register(tr); err != nil {
+		s.followMu.Lock()
+		delete(s.followers, f.id)
+		s.followMu.Unlock()
+		return nil, err
+	}
+
+	if in, err := s.buildLive(f.ctx, tr); err == nil {
+		f.live = in
+		s.cache.Seed(tr, in)
+	} else if !isCancellation(err) {
+		s.log.Warn("follow: initial live build failed", "trace", f.id, "error", err)
+	}
+
+	go s.runFollower(f)
+	return tr, nil
+}
+
+// followRetryBase and followRetryCap bound the retry backoff shared by
+// openTailWait and the follower loop's error path: exponential from the
+// base, jittered (a uniform draw from [d/2, d]), capped so a long outage
+// still polls a few times a second rather than going silent.
+const (
+	followRetryBase = 20 * time.Millisecond
+	followRetryCap  = 500 * time.Millisecond
+)
+
+// followBackoff returns the jittered sleep for the given consecutive-
+// failure count (1-based) and counts the retry.
+func (s *Server) followBackoff(failures int) time.Duration {
+	d := followRetryBase << uint(failures-1)
+	if d <= 0 || d > followRetryCap {
+		d = followRetryCap
+	}
+	s.cache.stats.FollowRetries.Add(1)
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// openTailWait retries OpenTail while the file is missing or its header
+// incomplete — the writer may not have flushed it yet — with capped
+// jittered exponential backoff (counted in follow_retries), bounded by
+// followOpenWait and the request context.
+func (s *Server) openTailWait(ctx context.Context, path string, poll time.Duration) (*traceio.TailReader, error) {
+	deadline := time.Now().Add(followOpenWait)
+	for attempt := 1; ; attempt++ {
 		tail, err := traceio.OpenTail(path)
 		if err == nil {
 			return tail, nil
@@ -266,10 +294,14 @@ func openTailWait(ctx context.Context, path string, poll time.Duration) (*tracei
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("server: waiting for followable header: %w", err)
 		}
+		wait := s.followBackoff(attempt)
+		if wait > poll {
+			wait = poll
+		}
 		select {
 		case <-ctx.Done():
 			return nil, ctx.Err()
-		case <-time.After(retry):
+		case <-time.After(wait):
 		}
 	}
 }
@@ -306,7 +338,9 @@ func (s *Server) buildLive(ctx context.Context, tr *Trace) (*core.Input, error) 
 
 // runFollower is the per-trace ingestion loop: poll, tick, repeat until
 // cancelled (DELETE or drain). Retryable tick errors — I/O hiccups, armed
-// failpoints — are logged and retried with the pending batch intact;
+// failpoints — are logged and retried with the pending batch intact,
+// under the shared jittered backoff (counted in follow_retries, reset on
+// the first good tick) so a persistent fault doesn't spin the poll;
 // corruption is terminal (it never repairs), the loop parks with the
 // last good snapshot still served.
 func (s *Server) runFollower(f *follower) {
@@ -314,21 +348,33 @@ func (s *Server) runFollower(f *follower) {
 	defer f.tail.Close()
 	ticker := time.NewTicker(f.opts.poll)
 	defer ticker.Stop()
+	failures := 0
 	for {
 		select {
 		case <-f.ctx.Done():
 			return
 		case <-ticker.C:
 		}
-		if err := s.followTick(f); err != nil {
-			if f.ctx.Err() != nil || isCancellation(err) {
-				return
-			}
-			if traceio.IsCorrupt(err) {
-				s.log.Error("follow stopped: trace corrupt", "trace", f.id, "error", err)
-				return
-			}
-			s.log.Warn("follow tick failed; retrying", "trace", f.id, "error", err)
+		err := s.followTick(f)
+		if err == nil {
+			failures = 0
+			continue
+		}
+		if f.ctx.Err() != nil || isCancellation(err) {
+			return
+		}
+		if traceio.IsCorrupt(err) {
+			s.log.Error("follow stopped: trace corrupt", "trace", f.id, "error", err)
+			return
+		}
+		failures++
+		wait := s.followBackoff(failures)
+		s.log.Warn("follow tick failed; retrying", "trace", f.id, "error", err,
+			"failures", failures, "backoff", wait)
+		select {
+		case <-f.ctx.Done():
+			return
+		case <-time.After(wait):
 		}
 	}
 }
@@ -382,6 +428,7 @@ func (s *Server) followTick(f *follower) error {
 		horizon: horizon,
 		ticks:   fs.ticks + 1,
 		offset:  f.tail.Offset(),
+		poll:    fs.poll,
 	}
 	batch := len(f.pending)
 	f.pending = f.pending[:0]
@@ -422,6 +469,11 @@ func (s *Server) followTick(f *follower) error {
 	s.cache.Seed(ntr, live)
 	s.cache.stats.FollowTicks.Add(1)
 	s.cache.stats.FollowEvents.Add(int64(batch))
+	// Journal the advanced resume offset every checkpointTicks ticks —
+	// a non-blocking kick to the keeper, nothing durable on this path.
+	if s.state != nil && s.checkpointTicks > 0 && nfs.ticks%int64(s.checkpointTicks) == 0 {
+		s.requestCheckpoint()
+	}
 	s.log.Debug("follow tick", "trace", f.id, "events", batch,
 		"horizon", horizon, "pan", nfs.pan, "advanced_slices", k, "reorder", reorder)
 	return nil

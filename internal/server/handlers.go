@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"net/url"
+	"os"
 	"strconv"
 	"strings"
 	"time"
@@ -113,6 +114,11 @@ func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err)
 		return
 	}
+	// The load is durable before the client sees the 201: a crash after
+	// this point recovers the trace, a crash before it never claimed one.
+	if err := s.Checkpoint(); err != nil {
+		s.log.Warn("checkpoint after load failed", "trace", tr.ID, "error", err)
+	}
 	s.log.Info("trace loaded", "trace", tr.ID, "path", tr.Path,
 		"events", tr.Events, "follow", req.Follow, "latency", time.Since(start))
 	writeJSON(w, http.StatusCreated, tr.Info())
@@ -149,8 +155,20 @@ func (s *Server) handleUnload(w http.ResponseWriter, r *http.Request) {
 	// file that Close removes. A build still in flight across this close
 	// fails with an error (surfaced as that request's 500) — it can never
 	// read recycled data into a model.
+	storePath := tr.resl.StorePath()
 	if err := tr.resl.Close(); err != nil {
 		s.log.Warn("closing trace index", "trace", id, "error", err)
+	}
+	if s.state != nil {
+		// Durable sidecar mode: Close keeps the store file, so the unload
+		// removes it — then checkpoints, so the manifest never references
+		// the deleted store.
+		if storePath != "" {
+			os.Remove(storePath)
+		}
+		if err := s.Checkpoint(); err != nil {
+			s.log.Warn("checkpoint after unload failed", "trace", id, "error", err)
+		}
 	}
 	s.log.Info("trace unloaded", "trace", id, "purged_windows", purged)
 	w.WriteHeader(http.StatusNoContent)

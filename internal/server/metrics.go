@@ -37,6 +37,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		{"ocelotl_follow_ticks_total", "Follow-mode ingestion ticks that carried events.", "counter", snap.FollowTicks},
 		{"ocelotl_follow_events_total", "Events ingested by follow-mode ticks.", "counter", snap.FollowEvents},
 		{"ocelotl_follow_reorders_total", "Out-of-order follow batches that forced a generation bump and cache purge.", "counter", snap.FollowReorders},
+		{"ocelotl_follow_retries_total", "Backed-off retries on the follow paths (tail opens and failed ticks).", "counter", snap.FollowRetries},
+		{"ocelotl_checkpoints_total", "Manifest checkpoints written by the durable-state keeper.", "counter", snap.Checkpoints},
+		{"ocelotl_recovered_orphans_total", "Stale temp and unreferenced store files swept at recovery.", "counter", snap.RecoveredOrphans},
+		{"ocelotl_quarantined_total", "Corrupt manifests and store files moved aside by recovery and scrub.", "counter", snap.Quarantined},
 		{"ocelotl_cache_entries", "Cached window Inputs resident now.", "gauge", int64(snap.Entries)},
 		{"ocelotl_cache_bytes", "Bytes of cached Input arenas resident now.", "gauge", snap.Bytes},
 		{"ocelotl_cache_budget_bytes", "Configured cache byte budget.", "gauge", snap.BudgetBytes},

@@ -1,0 +1,457 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ocelotl/internal/eventstore"
+	"ocelotl/internal/failpoint"
+	"ocelotl/internal/manifest"
+	"ocelotl/internal/microscopic"
+	"ocelotl/internal/mpisim"
+	"ocelotl/internal/testutil"
+	"ocelotl/internal/traceio"
+)
+
+// newStateServer builds a server with durable state in stateDir and runs
+// recovery — the daemon boot sequence. Index stores land in
+// stateDir/stores (the StateDir default).
+func newStateServer(t *testing.T, stateDir string, mode microscopic.IndexMode) (*Server, *httptest.Server, *RecoveryReport) {
+	t.Helper()
+	cfg := quietConfig()
+	cfg.StateDir = stateDir
+	cfg.CheckpointTicks = 1
+	cfg.Index = microscopic.IndexOptions{Mode: mode, Store: eventstore.Options{TargetChunkEvents: 32}}
+	s := New(cfg)
+	rep, err := s.Recover(context.Background())
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	return s, ts, rep
+}
+
+// crash simulates a kill -9 as far as durable state is concerned: the
+// ingestion loops and the checkpoint keeper stop dead — no final
+// checkpoint, no index close, no store removal. (The goroutines must
+// still be stopped for the leak guard; a real SIGKILL stops them without
+// any cleanup either.)
+func crash(s *Server, ts *httptest.Server) {
+	ts.Close()
+	s.StopFollowers()
+	s.CloseState()
+}
+
+// shutdown is the clean counterpart used by cleanups.
+func shutdown(t *testing.T, s *Server, ts *httptest.Server) {
+	t.Helper()
+	ts.Close()
+	s.StopFollowers()
+	s.CloseState()
+	if err := s.Registry().CloseAll(); err != nil {
+		t.Errorf("closing indexes: %v", err)
+	}
+}
+
+func postLoad(t *testing.T, ts *httptest.Server, id, path string) {
+	t.Helper()
+	body, _ := json.Marshal(loadRequest{ID: id, Path: path})
+	resp, err := http.Post(ts.URL+"/traces", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := readAll(resp)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("load: status %d (%s)", resp.StatusCode, raw)
+	}
+}
+
+func writeArtTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "art.otf2bin")
+	if err := traceio.WriteFile(path, mpisim.ArtificialSized(24, 40)); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestRecoverFreshDir: booting an empty state directory recovers to an
+// empty registry and a working journal — not an error.
+func TestRecoverFreshDir(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	s, ts, rep := newStateServer(t, t.TempDir(), microscopic.IndexAuto)
+	defer shutdown(t, s, ts)
+	if rep.Restored != 0 || rep.ManifestCorrupt || rep.Orphans != 0 {
+		t.Fatalf("fresh dir recovery not empty: %+v", rep)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatalf("Checkpoint on fresh state: %v", err)
+	}
+	m, err := manifest.LoadFile(filepath.Join(s.stateDir, manifest.FileName))
+	if err != nil || m == nil {
+		t.Fatalf("manifest after checkpoint: m=%v err=%v", m, err)
+	}
+	if len(m.Traces) != 0 {
+		t.Fatalf("empty server journaled %d traces", len(m.Traces))
+	}
+}
+
+// TestCrashRecoveryReopensStore is the batch half of the restart
+// contract: after a crash, a disk-indexed trace comes back by reopening
+// its sealed store in place (no re-indexing), under its journaled
+// generation, and serves byte-identical responses.
+func TestCrashRecoveryReopensStore(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tracePath := writeArtTrace(t)
+	stateDir := t.TempDir()
+	q := "/traces/art/aggregate?p=0.4&slices=12"
+
+	s1, ts1, _ := newStateServer(t, stateDir, microscopic.IndexDisk)
+	postLoad(t, ts1, "art", tracePath)
+	resp, respA := get(t, ts1.URL+q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash query: %d (%s)", resp.StatusCode, respA)
+	}
+	tr1, _ := s1.Registry().Get("art")
+	store1 := tr1.resl.StorePath()
+	if store1 == "" || filepath.Dir(store1) != filepath.Join(stateDir, "stores") {
+		t.Fatalf("store not in the state dir: %q", store1)
+	}
+	crash(s1, ts1)
+
+	s2, ts2, rep := newStateServer(t, stateDir, microscopic.IndexDisk)
+	defer shutdown(t, s2, ts2)
+	if rep.Restored != 1 || rep.Reopened != 1 || rep.Rebuilt != 0 {
+		t.Fatalf("want 1 reopened trace, got %+v", rep)
+	}
+	tr2, ok := s2.Registry().Get("art")
+	if !ok {
+		t.Fatal("trace not recovered")
+	}
+	if tr2.resl.StorePath() != store1 {
+		t.Fatalf("recovery opened %q, crashed daemon used %q", tr2.resl.StorePath(), store1)
+	}
+	if tr2.gen != tr1.gen {
+		t.Fatalf("generation changed across restart: %d -> %d", tr1.gen, tr2.gen)
+	}
+	resp, respB := get(t, ts2.URL+q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-crash query: %d (%s)", resp.StatusCode, respB)
+	}
+	if !bytes.Equal(respA, respB) {
+		t.Fatalf("responses diverge across restart:\n  pre:  %s\n  post: %s", respA, respB)
+	}
+}
+
+// TestCrashRecoveryResumesFollower is the live half: a follower crashed
+// mid-ingestion resumes at the journaled byte offset — no event lost, no
+// event double-ingested, live responses bit-identical — and keeps
+// ingesting what the writer appends after the restart.
+func TestCrashRecoveryResumesFollower(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	stateDir := t.TempDir()
+	path := filepath.Join(t.TempDir(), "live.bin")
+	evs := followEvents(900)
+	lw := newLiveWriter(t, path)
+	lw.append(evs[:300])
+
+	s1, ts1, _ := newStateServer(t, stateDir, microscopic.IndexAuto)
+	followLoad(t, ts1, "live", path, 10)
+	lw.append(evs[300:600])
+	infoA := waitForFollow(t, ts1, "live", 600)
+	if infoA.Events != 600 {
+		t.Fatalf("pre-crash ingested %d events, wrote 600", infoA.Events)
+	}
+	// Make the current offset the durable resume point, then crash.
+	if err := s1.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	resp, respA := get(t, ts1.URL+liveQueryPath("live", infoA.Follow))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash live query: %d (%s)", resp.StatusCode, respA)
+	}
+	crash(s1, ts1)
+
+	s2, ts2, rep := newStateServer(t, stateDir, microscopic.IndexAuto)
+	defer shutdown(t, s2, ts2)
+	if rep.Resumed != 1 || rep.Restarted != 0 {
+		t.Fatalf("want 1 resumed follower, got %+v", rep)
+	}
+	infoB := waitForFollow(t, ts2, "live", 600)
+	if infoB.Events != 600 {
+		t.Fatalf("resume replayed to %d events, want exactly 600 (dup or loss)", infoB.Events)
+	}
+	fa, fb := infoA.Follow, infoB.Follow
+	if fb.Offset != fa.Offset || fb.Horizon != fa.Horizon || fb.Ticks != fa.Ticks ||
+		fb.Lo != fa.Lo || fb.Hi != fa.Hi || fb.Pan != fa.Pan {
+		t.Fatalf("follow state diverges across restart:\n  pre:  %+v\n  post: %+v", fa, fb)
+	}
+	resp, respB := get(t, ts2.URL+liveQueryPath("live", fa))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-crash live query: %d (%s)", resp.StatusCode, respB)
+	}
+	if !bytes.Equal(respA, respB) {
+		t.Fatalf("live responses diverge across restart:\n  pre:  %s\n  post: %s", respA, respB)
+	}
+	// The resumed tail keeps ingesting: exactly the appended events land.
+	lw.append(evs[600:])
+	infoC := waitForFollow(t, ts2, "live", 900)
+	if infoC.Events != 900 {
+		t.Fatalf("post-resume ingested %d events, wrote 900", infoC.Events)
+	}
+	if infoC.Follow.Offset <= fa.Offset {
+		t.Fatalf("offset did not advance past the resume point: %d <= %d", infoC.Follow.Offset, fa.Offset)
+	}
+}
+
+// TestRecoverCorruptManifestQuarantines: a damaged manifest is moved
+// aside (preserved for inspection) and the daemon boots empty instead of
+// refusing to start.
+func TestRecoverCorruptManifestQuarantines(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	stateDir := t.TempDir()
+	mpath := filepath.Join(stateDir, manifest.FileName)
+	if err := os.WriteFile(mpath, []byte("OCMFgarbage that is not a manifest"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, ts, rep := newStateServer(t, stateDir, microscopic.IndexAuto)
+	defer shutdown(t, s, ts)
+	if !rep.ManifestCorrupt {
+		t.Fatalf("corruption not reported: %+v", rep)
+	}
+	if _, err := os.Stat(mpath + ".corrupt"); err != nil {
+		t.Fatalf("corrupt manifest not quarantined: %v", err)
+	}
+	if n := len(s.Registry().List()); n != 0 {
+		t.Fatalf("booted with %d traces from a corrupt manifest", n)
+	}
+	if got := s.CacheStats().Quarantined; got != 1 {
+		t.Fatalf("quarantined counter = %d, want 1", got)
+	}
+	// The post-recovery checkpoint wrote a fresh manifest in its place.
+	if m, err := manifest.LoadFile(mpath); err != nil || m == nil {
+		t.Fatalf("fresh manifest after quarantine: m=%v err=%v", m, err)
+	}
+}
+
+// TestRecoverSweepsOrphans: spill temps, abandoned build temps, and
+// store files no journaled trace references are removed at boot; files
+// the sweep has no business with stay.
+func TestRecoverSweepsOrphans(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	stateDir := t.TempDir()
+	stores := filepath.Join(stateDir, "stores")
+	if err := os.MkdirAll(stores, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	orphans := []string{".oces-run-123", ".oces-build-456", "ocelotl-index-789.oces"}
+	for _, name := range append(orphans, "notes.txt") {
+		if err := os.WriteFile(filepath.Join(stores, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, ts, rep := newStateServer(t, stateDir, microscopic.IndexDisk)
+	defer shutdown(t, s, ts)
+	if rep.Orphans != len(orphans) {
+		t.Fatalf("swept %d orphans, want %d", rep.Orphans, len(orphans))
+	}
+	for _, name := range orphans {
+		if _, err := os.Stat(filepath.Join(stores, name)); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived the sweep: %v", name, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(stores, "notes.txt")); err != nil {
+		t.Fatalf("sweep removed an unrelated file: %v", err)
+	}
+	if got := s.CacheStats().RecoveredOrphans; got != int64(len(orphans)) {
+		t.Fatalf("recovered_orphans = %d, want %d", got, len(orphans))
+	}
+}
+
+// TestRecoverOpenFailpoint: with recover/open armed, recovery falls back
+// to rebuilding the index from the trace file — degraded to extra work,
+// never to a missing trace — and the responses still match.
+func TestRecoverOpenFailpoint(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tracePath := writeArtTrace(t)
+	stateDir := t.TempDir()
+	q := "/traces/art/aggregate?p=0.4&slices=12"
+
+	s1, ts1, _ := newStateServer(t, stateDir, microscopic.IndexDisk)
+	postLoad(t, ts1, "art", tracePath)
+	_, respA := get(t, ts1.URL+q)
+	crash(s1, ts1)
+
+	if err := failpoint.Enable(FailpointRecoverOpen, "error(chaos)"); err != nil {
+		t.Fatal(err)
+	}
+	defer failpoint.Disable(FailpointRecoverOpen)
+	s2, ts2, rep := newStateServer(t, stateDir, microscopic.IndexDisk)
+	defer shutdown(t, s2, ts2)
+	if rep.Restored != 1 || rep.Rebuilt != 1 || rep.Reopened != 0 {
+		t.Fatalf("want 1 rebuilt trace under the failpoint, got %+v", rep)
+	}
+	_, respB := get(t, ts2.URL+q)
+	if !bytes.Equal(respA, respB) {
+		t.Fatalf("rebuilt trace diverges:\n  pre:  %s\n  post: %s", respA, respB)
+	}
+}
+
+// TestScrubQuarantinesAndRebuilds: a bit flip in a live store's chunk
+// region is caught by the scrub's CRC pass; the store is quarantined,
+// the index rebuilt from the trace file, and queries keep answering
+// bit-identically. A second scrub comes back clean.
+func TestScrubQuarantinesAndRebuilds(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tracePath := writeArtTrace(t)
+	s, ts, _ := newStateServer(t, t.TempDir(), microscopic.IndexDisk)
+	defer shutdown(t, s, ts)
+	postLoad(t, ts, "art", tracePath)
+	q := "/traces/art/aggregate?p=0.4&slices=12"
+	_, respA := get(t, ts.URL+q)
+
+	tr, _ := s.Registry().Get("art")
+	storePath := tr.resl.StorePath()
+	data, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0x10
+	if err := os.WriteFile(storePath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rep := s.Scrub()
+	if rep.Clean || rep.Quarantined != 1 || rep.Rebuilt != 1 {
+		t.Fatalf("scrub of a flipped store: %+v", rep)
+	}
+	if _, err := os.Stat(storePath + ".quarantined"); err != nil {
+		t.Fatalf("damaged store not quarantined: %v", err)
+	}
+	resp, respB := get(t, ts.URL+q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after rebuild: %d (%s)", resp.StatusCode, respB)
+	}
+	if !bytes.Equal(respA, respB) {
+		t.Fatalf("rebuilt trace diverges:\n  pre:  %s\n  post: %s", respA, respB)
+	}
+	if rep2 := s.Scrub(); !rep2.Clean {
+		t.Fatalf("second scrub not clean: %+v", rep2)
+	}
+}
+
+// TestScrubEndpointAndOffline: GET /debug/scrub reports a clean state,
+// and the offline ScrubState agrees on the same directory after a crash
+// (reading the manifest read-only, removing nothing).
+func TestScrubEndpointAndOffline(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tracePath := writeArtTrace(t)
+	stateDir := t.TempDir()
+	s, ts, _ := newStateServer(t, stateDir, microscopic.IndexDisk)
+	postLoad(t, ts, "art", tracePath)
+
+	resp, body := get(t, ts.URL+"/debug/scrub")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/scrub: %d (%s)", resp.StatusCode, body)
+	}
+	var rep ScrubReport
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean || rep.Traces != 1 || rep.Chunks == 0 {
+		t.Fatalf("live scrub of a healthy store: %+v", rep)
+	}
+	store := func() string {
+		tr, _ := s.Registry().Get("art")
+		return tr.resl.StorePath()
+	}()
+	crash(s, ts)
+
+	off, err := ScrubState(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !off.Clean || off.Traces != 1 || off.Chunks != rep.Chunks {
+		t.Fatalf("offline scrub disagrees: live %+v, offline %+v", rep, off)
+	}
+	if _, err := os.Stat(store); err != nil {
+		t.Fatalf("offline scrub touched the store: %v", err)
+	}
+}
+
+// TestUnloadRemovesDurableStore: in state mode the store file is a
+// durable sidecar, so the unload — not the index close — removes it, and
+// the manifest stops referencing the trace before the client sees 204.
+func TestUnloadRemovesDurableStore(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tracePath := writeArtTrace(t)
+	stateDir := t.TempDir()
+	s, ts, _ := newStateServer(t, stateDir, microscopic.IndexDisk)
+	defer shutdown(t, s, ts)
+	postLoad(t, ts, "art", tracePath)
+	tr, _ := s.Registry().Get("art")
+	storePath := tr.resl.StorePath()
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/traces/art", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("unload: %d", resp.StatusCode)
+	}
+	if _, err := os.Stat(storePath); !os.IsNotExist(err) {
+		t.Fatalf("unload left the durable store behind: %v", err)
+	}
+	m, err := manifest.LoadFile(filepath.Join(stateDir, manifest.FileName))
+	if err != nil || m == nil {
+		t.Fatalf("manifest after unload: m=%v err=%v", m, err)
+	}
+	if len(m.Traces) != 0 {
+		t.Fatalf("manifest still references %d traces after unload", len(m.Traces))
+	}
+}
+
+// TestTornManifestWriteRecovers: a crash in the torn-write window (the
+// armed manifest/write failpoint leaves a durable-but-unpublished temp)
+// loses only the newest checkpoint — the previous manifest recovers, and
+// the next boot sweeps the debris.
+func TestTornManifestWriteRecovers(t *testing.T) {
+	testutil.VerifyNoLeaks(t)
+	tracePath := writeArtTrace(t)
+	stateDir := t.TempDir()
+	s1, ts1, _ := newStateServer(t, stateDir, microscopic.IndexDisk)
+	postLoad(t, ts1, "art", tracePath) // durably journaled
+
+	if err := failpoint.Enable(manifest.FailpointWrite, "error(torn)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Checkpoint(); err == nil {
+		t.Fatal("checkpoint through an armed manifest/write failpoint succeeded")
+	}
+	failpoint.Disable(manifest.FailpointWrite)
+	crash(s1, ts1)
+
+	s2, ts2, rep := newStateServer(t, stateDir, microscopic.IndexDisk)
+	defer shutdown(t, s2, ts2)
+	if rep.Restored != 1 || rep.ManifestCorrupt {
+		t.Fatalf("previous manifest did not recover past the torn write: %+v", rep)
+	}
+	entries, err := os.ReadDir(stateDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if len(e.Name()) > 11 && e.Name()[:11] == ".ocmf-write" {
+			t.Fatalf("torn-write debris survived the boot sweep: %s", e.Name())
+		}
+	}
+}

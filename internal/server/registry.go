@@ -163,7 +163,11 @@ func (r *Registry) LoadTrace(id string, tr *trace.Trace) (*Trace, error) {
 func (r *Registry) register(t *Trace) (*Trace, error) {
 	t.Events = t.resl.NumEvents()
 	t.LoadedAt = r.now()
-	t.gen = r.gen.Add(1)
+	// A pre-set gen is a recovered trace keeping its journaled lineage
+	// (the caller bumps the counter past it); everything else gets fresh.
+	if t.gen == 0 {
+		t.gen = r.gen.Add(1)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, exists := r.traces[t.ID]; exists {
@@ -187,6 +191,44 @@ func (r *Registry) replace(t *Trace) bool {
 		return false
 	}
 	r.traces[t.ID] = t
+	return true
+}
+
+// bumpGen advances the generation counter to at least g — recovery calls
+// it with each journaled gen so post-restart loads can never reuse a
+// generation the manifest (and therefore old cache keys) already names.
+func (r *Registry) bumpGen(g uint64) {
+	for {
+		cur := r.gen.Load()
+		if cur >= g || r.gen.CompareAndSwap(cur, g) {
+			return
+		}
+	}
+}
+
+// snapshot returns the registered traces (unsorted) — the manifest and
+// scrub passes iterate it without holding the lock across their I/O.
+func (r *Registry) snapshot() []*Trace {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Trace, 0, len(r.traces))
+	for _, t := range r.traces {
+		out = append(out, t)
+	}
+	return out
+}
+
+// swap replaces old with nw iff old is still the registered snapshot —
+// the scrub rebuild's publish, analogous to replace but keyed on pointer
+// identity so it cannot clobber a concurrent reload.
+func (r *Registry) swap(old, nw *Trace) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cur, ok := r.traces[old.ID]
+	if !ok || cur != old {
+		return false
+	}
+	r.traces[nw.ID] = nw
 	return true
 }
 

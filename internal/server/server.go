@@ -33,6 +33,7 @@
 //	GET    /traces/{id}/quality         quality-curve samples at given ps
 //	GET    /traces/{id}/render          PNG/SVG view of the partition
 //	GET    /debug/cachestats            cache counters (hits/derived/...)
+//	GET    /debug/scrub                 verify stores + manifest (state.go)
 //	GET    /metrics                     the same counters, Prometheus format
 //	GET    /healthz                     liveness
 //
@@ -73,6 +74,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -137,6 +139,20 @@ type Config struct {
 	// event threshold, the chunked on-disk store above it — so small
 	// traces keep the fast path and huge ones stop being rejected by RAM.
 	Index microscopic.IndexOptions
+	// StateDir enables durable daemon state (see state.go): the manifest
+	// journal lives here, disk-backed index stores become durable
+	// sidecars (Index.KeepStore is forced on; Index.Dir defaults to
+	// StateDir/stores), and Recover must be called before serving to
+	// replay the journal. Empty disables journaling — stores stay
+	// load-time temporaries and a restart boots empty, the prior
+	// behavior.
+	StateDir string
+	// CheckpointTicks is how many event-carrying follow ticks elapse
+	// between periodic manifest checkpoints (0 = DefaultCheckpointTicks;
+	// negative disables tick-driven checkpoints, leaving load/unload/
+	// shutdown as the only checkpoint sites). Only meaningful with
+	// StateDir set.
+	CheckpointTicks int
 }
 
 // DefaultCacheBytes is the Input-cache budget when Config.CacheBytes is 0.
@@ -174,6 +190,12 @@ type Server struct {
 	// trace (see follow.go); guarded by followMu.
 	followMu  sync.Mutex
 	followers map[string]*follower
+	// Durable state (see state.go): stateDir is Config.StateDir, state
+	// the manifest keeper — nil until Recover, and nil forever when
+	// journaling is disabled. Written once before serving starts.
+	stateDir        string
+	checkpointTicks int
+	state           *stateKeeper
 }
 
 // New builds a Server from cfg.
@@ -213,16 +235,31 @@ func New(cfg Config) *Server {
 		}
 		cache.gate = newBuildGate(capacity, maxQueue)
 	}
+	checkpointTicks := cfg.CheckpointTicks
+	if checkpointTicks == 0 {
+		checkpointTicks = DefaultCheckpointTicks
+	}
+	if cfg.StateDir != "" {
+		// Durable state needs the stores to outlive the process: force
+		// the sidecar mode and give the stores a home inside the state
+		// directory unless -index-dir placed them elsewhere.
+		cfg.Index.KeepStore = true
+		if cfg.Index.Dir == "" {
+			cfg.Index.Dir = filepath.Join(cfg.StateDir, "stores")
+		}
+	}
 	reg := NewRegistry()
 	reg.SetIndexOptions(cfg.Index)
 	return &Server{
-		reg:          reg,
-		cache:        cache,
-		log:          logger,
-		timeout:      timeout,
-		maxSlices:    maxSlices,
-		degradeAfter: degradeAfter,
-		followers:    make(map[string]*follower),
+		reg:             reg,
+		cache:           cache,
+		log:             logger,
+		timeout:         timeout,
+		maxSlices:       maxSlices,
+		degradeAfter:    degradeAfter,
+		followers:       make(map[string]*follower),
+		stateDir:        cfg.StateDir,
+		checkpointTicks: checkpointTicks,
 	}
 }
 
@@ -263,6 +300,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /traces/{id}/render", s.handleRender)
 	mux.HandleFunc("GET /debug/cachestats", s.handleCacheStats)
 	mux.HandleFunc("GET /debug/failpoints", s.handleFailpoints)
+	mux.HandleFunc("GET /debug/scrub", s.handleScrub)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Write([]byte("ok\n"))

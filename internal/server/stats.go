@@ -54,6 +54,18 @@ type Stats struct {
 	FollowTicks    atomic.Int64
 	FollowEvents   atomic.Int64
 	FollowReorders atomic.Int64
+	// FollowRetries counts backoff sleeps on the follow paths: tail-open
+	// attempts that found the file missing or its header incomplete, and
+	// follower ticks retried after a retryable fault.
+	FollowRetries atomic.Int64
+
+	// Durable-state counters (state.go): Checkpoints counts manifest
+	// saves, RecoveredOrphans the stale temp/store files swept at boot,
+	// Quarantined the corrupt artifacts (manifest or store files) moved
+	// aside by recovery and scrub.
+	Checkpoints      atomic.Int64
+	RecoveredOrphans atomic.Int64
+	Quarantined      atomic.Int64
 }
 
 // StatsSnapshot is the JSON form served by /debug/cachestats.
@@ -78,9 +90,14 @@ type StatsSnapshot struct {
 	FollowTicks    int64 `json:"follow_ticks"`
 	FollowEvents   int64 `json:"follow_events"`
 	FollowReorders int64 `json:"follow_reorders"`
-	Entries        int   `json:"entries"`
-	Bytes          int64 `json:"bytes"`
-	BudgetBytes    int64 `json:"budget_bytes"`
+	FollowRetries  int64 `json:"follow_retries"`
+
+	Checkpoints      int64 `json:"checkpoints"`
+	RecoveredOrphans int64 `json:"recovered_orphans"`
+	Quarantined      int64 `json:"quarantined"`
+	Entries          int   `json:"entries"`
+	Bytes            int64 `json:"bytes"`
+	BudgetBytes      int64 `json:"budget_bytes"`
 	// The index fields are registry aggregates, filled by
 	// Server.CacheStats (not Stats.snapshot): index bytes are the event
 	// indexes' fixed residency (RAM arrays or disk chunk directory),
@@ -118,5 +135,10 @@ func (s *Stats) snapshot() StatsSnapshot {
 		FollowTicks:    s.FollowTicks.Load(),
 		FollowEvents:   s.FollowEvents.Load(),
 		FollowReorders: s.FollowReorders.Load(),
+		FollowRetries:  s.FollowRetries.Load(),
+
+		Checkpoints:      s.Checkpoints.Load(),
+		RecoveredOrphans: s.RecoveredOrphans.Load(),
+		Quarantined:      s.Quarantined.Load(),
 	}
 }
